@@ -1,0 +1,91 @@
+"""A2 (ablation, M4): human override vs automated verification vs both.
+
+"Robust human-in-the-loop safeguards that allow operators to override
+autonomous agents sending laboratory robots out-of-specification
+commands" (M4) — but §3.5 also warns that humans are imperfect monitors
+(complacency, limited attention).  This ablation quantifies the layering:
+a hallucinating LLM-direct planner is screened by (a) nothing, (b) a
+human operator alone, (c) the automated stack alone, (d) both.
+
+Expected shape: the operator alone helps but misses what complacency and
+finite skill let through; automation alone is near-perfect on encoded
+constraints; the combination is at least as good as automation and costs
+only the review latency.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import fmt, report
+from repro.core import CampaignSpec, FederationManager, VerificationStack
+from repro.core.orchestrator import HierarchicalOrchestrator
+from repro.hitl import OperatorOverride, TrustModel
+from repro.labsci import QuantumDotLandscape
+
+BUDGET = 40
+SEEDS = (3, 17)
+HALLUCINATION = 0.35
+
+
+def _run(config: str, seed: int):
+    fed = FederationManager(seed=seed, n_sites=2, objective_key="plqy")
+    lab = fed.add_lab("site-0", lambda s: QuantumDotLandscape(seed=7),
+                      planner_mode="llm-direct",
+                      hallucination_rate=HALLUCINATION)
+    operator = OperatorOverride(
+        fed.sim, fed.rngs.stream(f"operator/{seed}"),
+        trust=TrustModel(initial=0.5),
+        safety_envelope=dict(lab.twin.safety_envelope),
+        detection_skill=0.85, review_time_s=45.0)
+
+    verification = None
+    if config != "none":
+        verifiers = []
+        if config in ("automated", "both"):
+            verifiers.extend(fed.verification_stack(lab).verifiers)
+        if config in ("operator", "both"):
+            verifiers.append(operator)
+        verification = VerificationStack(fed.sim, verifiers)
+
+    orch = HierarchicalOrchestrator(fed.sim, lab.planner, lab.executor,
+                                    lab.evaluator,
+                                    verification=verification)
+    spec = CampaignSpec(name=f"a2-{config}", objective_key="plqy",
+                        max_experiments=BUDGET)
+    proc = fed.sim.process(orch.run_campaign(spec))
+    result = fed.sim.run(until=proc)
+    return result, operator
+
+
+def test_a02_operator_override(bench_once):
+    configs = ("none", "operator", "automated", "both")
+
+    def scenario():
+        return {c: [_run(c, s) for s in SEEDS] for c in configs}
+
+    results = bench_once(scenario)
+    rows = []
+    correctness = {}
+    for config in configs:
+        runs = results[config]
+        c = float(np.mean([r.correctness for r, _ in runs]))
+        correctness[config] = c
+        vetoes = sum(op.stats["vetoed"] for _, op in runs)
+        missed = sum(op.stats["missed_unsafe"] for _, op in runs)
+        hours = float(np.mean([r.duration for r, _ in runs])) / 3600.0
+        rows.append([config, fmt(c, 3), vetoes, missed, fmt(hours, 2)])
+    report(
+        "A2 (ablation): who catches the hallucinations? "
+        f"(LLM-direct planner, {HALLUCINATION:.0%} hallucination rate)",
+        ["screening", "correctness", "operator vetoes",
+         "operator misses", "campaign (h)"],
+        rows)
+
+    assert correctness["none"] < 0.9          # the problem is real
+    assert correctness["operator"] > correctness["none"]
+    assert correctness["automated"] >= 0.95   # M8 machinery
+    assert correctness["both"] >= correctness["operator"]
+    assert correctness["both"] >= 0.95
+    # The operator-alone arm must show the complacency failure mode:
+    # some unsafe plans slipped past the human.
+    assert sum(op.stats["missed_unsafe"]
+               for _, op in results["operator"]) > 0

@@ -1,0 +1,57 @@
+"""E1 (milestone M8): hierarchical agent orchestration vs manual.
+
+Paper target: "achieving 3x speedup over manual orchestration".
+
+Both arms run the same fluidic lab, the same optimizer, and the same
+budget of experiments; the only difference is who closes the loop — the
+hierarchical agent stack (LLM orchestrates, BO proposes, verification
+vets) or a human scientist with realistic decision latency and working
+hours.  We report total campaign time and the speedup ratio.
+"""
+
+from benchmarks.conftest import fmt, report
+from repro.core import CampaignSpec, FederationManager
+from repro.labsci import QuantumDotLandscape
+
+BUDGET = 30
+SEED = 21
+
+
+def _run_arm(mode: str):
+    fed = FederationManager(seed=SEED, n_sites=2, objective_key="plqy")
+    lab = fed.add_lab("site-0", lambda s: QuantumDotLandscape(seed=7))
+    spec = CampaignSpec(name=f"e1-{mode}", objective_key="plqy",
+                        max_experiments=BUDGET)
+    if mode == "manual":
+        runner = fed.make_manual(lab, batch_size=4,
+                                 decision_delay_s=4 * 3600.0)
+    else:
+        runner = fed.make_orchestrator(lab, verified=True)
+    proc = fed.sim.process(runner.run_campaign(spec))
+    return fed.sim.run(until=proc)
+
+
+def test_e01_orchestration_speedup(bench_once):
+    def scenario():
+        return {mode: _run_arm(mode) for mode in ("manual", "autonomous")}
+
+    results = bench_once(scenario)
+    manual, auto = results["manual"], results["autonomous"]
+    ratio = manual.duration / auto.duration
+    report(
+        "E1: hierarchical orchestration speedup (M8 target: >=3x)",
+        ["arm", "experiments", "campaign time (h)", "best PLQY",
+         "speedup"],
+        [
+            ["manual", manual.n_experiments,
+             fmt(manual.duration / 3600.0, 1), fmt(manual.best_value), "1.0x"],
+            ["autonomous", auto.n_experiments,
+             fmt(auto.duration / 3600.0, 1), fmt(auto.best_value),
+             f"{ratio:.1f}x"],
+        ])
+
+    # Shape assertions per the reproduction contract.
+    assert manual.n_experiments == auto.n_experiments == BUDGET
+    assert ratio >= 3.0, f"expected >=3x speedup (M8), got {ratio:.1f}x"
+    # Same optimizer: scientific quality should be comparable.
+    assert auto.best_value >= 0.5 * manual.best_value

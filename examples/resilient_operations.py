@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Fault-tolerant federated operations under adversity (M3, E11).
+
+An autonomous campaign keeps making progress while we injure it:
+instrument faults (short MTBF), a WAN link failure, a crashed planner
+agent (restarted by the supervisor), and failover of execution to a
+second site.
+
+Run:  python examples/resilient_operations.py
+"""
+
+from repro.agents import Supervisor
+from repro.core import CampaignSpec, FederationManager
+from repro.labsci import QuantumDotLandscape
+
+
+def main() -> None:
+    fed = FederationManager(seed=9, n_sites=3, objective_key="plqy")
+    primary = fed.add_lab("site-0",
+                          lambda s: QuantumDotLandscape(seed=7),
+                          mtbf_hours=0.4, repair_time_s=1800.0)
+    backup = fed.add_lab("site-1", lambda s: QuantumDotLandscape(seed=7))
+    orch = fed.make_orchestrator(primary, verified=True,
+                                 fault_tolerant=True, alternates=[backup])
+
+    # Agent-level supervision (heartbeats + restart).
+    for agent in (primary.planner, primary.executor, primary.evaluator):
+        agent.start()
+    supervisor = Supervisor(fed.sim, check_interval_s=10.0,
+                            restart_delay_s=60.0)
+    for agent in (primary.planner, primary.executor, primary.evaluator):
+        supervisor.watch(agent)
+    supervisor.start()
+
+    # Scripted adversity.
+    def gremlin():
+        yield fed.sim.timeout(900.0)
+        print(f"[{fed.sim.now:8.0f}s] gremlin: cutting site-0 <-> site-1 link")
+        fed.faults.fail_link("site-0", "site-1", duration=600.0)
+        yield fed.sim.timeout(600.0)
+        print(f"[{fed.sim.now:8.0f}s] gremlin: crashing the planner agent")
+        primary.planner.crash()
+
+    fed.sim.process(gremlin())
+
+    spec = CampaignSpec(name="resilient", objective_key="plqy",
+                        max_experiments=80)
+    proc = fed.sim.process(orch.run_campaign(spec))
+    result = fed.sim.run(until=proc)
+
+    print("\n=== campaign under fire ===")
+    for key, value in result.summary().items():
+        print(f"  {key:>16}: {value}")
+    ft = orch.fault_tolerant
+    print("\nfault-tolerance events:")
+    for t, kind, detail in ft.events[:12]:
+        print(f"  [{t:8.0f}s] {kind:<14} {detail[:60]}")
+    print(f"\nsupervisor restarts: {supervisor.restart_count()}")
+    print(f"instrument faults handled: {ft.stats['faults_handled']}, "
+          f"repairs: {ft.stats['repairs']}, failovers: {ft.stats['failovers']}")
+    print(f"campaign still completed {result.n_experiments}/80 experiments "
+          f"with best PLQY {result.best_value:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""AISLE — Autonomous Interconnected Science Lab Ecosystem (reproduction).
+
+This package reproduces, as a deterministic discrete-event simulation, the
+ecosystem proposed in *"A Grassroots Network and Community Roadmap for
+Interconnected Autonomous Science Laboratories for Accelerated Discovery"*
+(Ferreira da Silva et al., ICPP 2025).
+
+The five critical dimensions of the paper map onto subpackages:
+
+1. Instruments and cyberinfrastructure integration -> :mod:`repro.instruments`
+2. Agent-driven data management                    -> :mod:`repro.data`
+3. AI agent-driven autonomous orchestration        -> :mod:`repro.core`,
+   :mod:`repro.agents`, :mod:`repro.methods`
+4. Interoperable agent communication               -> :mod:`repro.comm`,
+   :mod:`repro.net`, :mod:`repro.security`
+5. Education and workforce development             -> :mod:`repro.hitl`
+
+Everything runs on the shared discrete-event kernel in :mod:`repro.sim`;
+synthetic ground-truth science lives in :mod:`repro.labsci`.
+"""
+
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Simulator", "RngRegistry", "__version__"]
+
+__version__ = "1.0.0"

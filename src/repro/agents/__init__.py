@@ -1,0 +1,39 @@
+"""Stateful federated agents (the actors of §3.3).
+
+- :mod:`repro.agents.base` — the agent runtime: mailboxes, message
+  dispatch, heartbeats, crash/restart semantics.
+- :mod:`repro.agents.llm` — the simulated LLM: a deterministic-seeded
+  stochastic reasoner with realistic latency, token cost, and
+  hallucination failure modes (see DESIGN.md substitutions).
+- :mod:`repro.agents.planner` / :mod:`repro.agents.executor` /
+  :mod:`repro.agents.evaluator` — the Planner/Executor/Evaluator roles
+  (the CellAgent-style decomposition the paper cites).
+- :mod:`repro.agents.lifecycle` — heartbeat supervision and automatic
+  restart (fault-tolerant coordination, M3).
+"""
+
+from repro.agents.base import Agent, AgentRuntime, AgentState
+from repro.agents.evaluator import EvaluatorAgent
+from repro.agents.executor import ExecutorAgent, ExperimentOutcome
+from repro.agents.lifecycle import Supervisor
+from repro.agents.literature import (LiteratureAgent, PublishedResult,
+                                     SyntheticLiterature)
+from repro.agents.llm import LLMResponse, SimulatedLLM
+from repro.agents.planner import ExperimentPlan, PlannerAgent
+
+__all__ = [
+    "Agent",
+    "AgentRuntime",
+    "AgentState",
+    "EvaluatorAgent",
+    "ExecutorAgent",
+    "ExperimentOutcome",
+    "ExperimentPlan",
+    "LLMResponse",
+    "LiteratureAgent",
+    "PlannerAgent",
+    "PublishedResult",
+    "SimulatedLLM",
+    "Supervisor",
+    "SyntheticLiterature",
+]

@@ -1,0 +1,39 @@
+"""Interoperable agent communication (paper dimension 4, §3.4).
+
+Layered per the paper's research priorities: transport (:mod:`repro.net`),
+message formatting (:mod:`repro.comm.message`,
+:mod:`repro.comm.serialization`), middleware (AMQP-style
+:mod:`repro.comm.bus`, gRPC-style :mod:`repro.comm.rpc`), and coordination
+(:mod:`repro.comm.registry`, :mod:`repro.comm.discovery`,
+:mod:`repro.comm.negotiation`, :mod:`repro.comm.failover`).
+"""
+
+from repro.comm.bus import Broker, MessageBus, Queue
+from repro.comm.discovery import DnsSd, ServiceAnnouncement
+from repro.comm.failover import FailoverGroup
+from repro.comm.message import Envelope, Message, Performative
+from repro.comm.negotiation import CapabilityOffer, Negotiator
+from repro.comm.registry import ServiceRecord, ServiceRegistry
+from repro.comm.rpc import RpcClient, RpcError, RpcServer, RpcTimeout
+from repro.comm.serialization import estimate_size
+
+__all__ = [
+    "Broker",
+    "CapabilityOffer",
+    "DnsSd",
+    "Envelope",
+    "FailoverGroup",
+    "Message",
+    "MessageBus",
+    "Negotiator",
+    "Performative",
+    "Queue",
+    "RpcClient",
+    "RpcError",
+    "RpcServer",
+    "RpcTimeout",
+    "ServiceAnnouncement",
+    "ServiceRecord",
+    "ServiceRegistry",
+    "estimate_size",
+]

@@ -1,0 +1,235 @@
+"""AMQP-style message-oriented middleware.
+
+Brokers live at sites; publishers send envelopes to a broker over the
+simulated WAN; the broker fans messages out to queues whose *bindings*
+match the topic (AMQP topic-exchange semantics: ``*`` matches one
+dot-separated segment, ``#`` matches any number).  Consumers pull from
+queues with explicit ack/nack and at-least-once redelivery — the
+"reliable message delivery" the paper's §3.4 research priorities call for.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.comm.message import Envelope, Message
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.transport import Network
+    from repro.sim.kernel import Simulator
+
+
+class BrokerDown(Exception):
+    """The broker targeted by a publish/consume is offline."""
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """AMQP topic matching: ``*`` = one segment, ``#`` = zero or more.
+
+    >>> topic_matches("lab.*.xrd", "lab.ornl.xrd")
+    True
+    >>> topic_matches("lab.#", "lab.ornl.xrd.scan")
+    True
+    >>> topic_matches("lab.*", "lab.ornl.xrd")
+    False
+    """
+    pat = pattern.split(".")
+    top = topic.split(".")
+
+    def match(pi: int, ti: int) -> bool:
+        while pi < len(pat):
+            seg = pat[pi]
+            if seg == "#":
+                if pi == len(pat) - 1:
+                    return True
+                for skip in range(len(top) - ti + 1):
+                    if match(pi + 1, ti + skip):
+                        return True
+                return False
+            if ti >= len(top):
+                return False
+            if seg != "*" and seg != top[ti]:
+                return False
+            pi += 1
+            ti += 1
+        return ti == len(top)
+
+    return match(0, 0)
+
+
+class Queue:
+    """A named broker-side queue with ack/nack redelivery semantics."""
+
+    def __init__(self, sim: "Simulator", name: str,
+                 max_attempts: int = 5) -> None:
+        self.sim = sim
+        self.name = name
+        self.max_attempts = max_attempts
+        self._store: Store = Store(sim)
+        self._unacked: dict[int, Envelope] = {}
+        self.dead_letters: list[Envelope] = []
+        self.stats = {"delivered": 0, "acked": 0, "nacked": 0, "dead": 0}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def push(self, envelope: Envelope) -> None:
+        self._store.put(envelope)
+
+    def get(self):
+        """Event yielding the next envelope (must later be acked/nacked)."""
+        ev = self._store.get()
+        ev.callbacks.append(self._on_delivery)
+        return ev
+
+    def _on_delivery(self, event) -> None:
+        if event._ok:
+            env: Envelope = event.value
+            self._unacked[env.message.msg_id] = env
+            self.stats["delivered"] += 1
+
+    def ack(self, envelope: Envelope) -> None:
+        """Confirm processing; the message will not be redelivered."""
+        self._unacked.pop(envelope.message.msg_id, None)
+        self.stats["acked"] += 1
+
+    def nack(self, envelope: Envelope, requeue: bool = True) -> None:
+        """Reject; requeue for redelivery (or dead-letter after too many)."""
+        self._unacked.pop(envelope.message.msg_id, None)
+        self.stats["nacked"] += 1
+        if not requeue or envelope.attempt >= self.max_attempts:
+            self.dead_letters.append(envelope)
+            self.stats["dead"] += 1
+            return
+        envelope.attempt += 1
+        self._store.put(envelope)
+
+    @property
+    def unacked_count(self) -> int:
+        return len(self._unacked)
+
+
+class Broker:
+    """A message broker hosted at one site."""
+
+    def __init__(self, sim: "Simulator", name: str, site: str,
+                 routing_delay_s: float = 0.0005) -> None:
+        self.sim = sim
+        self.name = name
+        self.site = site
+        self.routing_delay_s = routing_delay_s
+        self.alive = True
+        self.queues: dict[str, Queue] = {}
+        self._bindings: list[tuple[str, str]] = []  # (pattern, queue name)
+        self.stats = {"published": 0, "routed": 0, "unroutable": 0}
+
+    def declare_queue(self, name: str, max_attempts: int = 5) -> Queue:
+        if name not in self.queues:
+            self.queues[name] = Queue(self.sim, name, max_attempts)
+        return self.queues[name]
+
+    def bind(self, queue_name: str, pattern: str) -> None:
+        if queue_name not in self.queues:
+            raise KeyError(f"no queue {queue_name!r} on broker {self.name!r}")
+        self._bindings.append((pattern, queue_name))
+
+    def route(self, topic: str, envelope: Envelope) -> int:
+        """Fan an envelope out to all queues bound to ``topic``."""
+        if not self.alive:
+            raise BrokerDown(self.name)
+        self.stats["published"] += 1
+        matched = 0
+        seen: set[str] = set()
+        for pattern, qname in self._bindings:
+            if qname in seen:
+                continue
+            if topic_matches(pattern, topic):
+                self.queues[qname].push(envelope)
+                seen.add(qname)
+                matched += 1
+        if matched:
+            self.stats["routed"] += matched
+        else:
+            self.stats["unroutable"] += 1
+        return matched
+
+    def kill(self) -> None:
+        """Simulate broker crash (used by failover experiments)."""
+        self.alive = False
+
+    def revive(self) -> None:
+        self.alive = True
+
+
+class MessageBus:
+    """Client-facing facade over one or more brokers.
+
+    Parameters
+    ----------
+    sim, network:
+        Kernel and transport.
+    gateway:
+        Optional zero-trust gateway; when present every publish/consume is
+        verified (see :mod:`repro.security.zerotrust`).
+    """
+
+    def __init__(self, sim: "Simulator", network: "Network",
+                 gateway: Any = None) -> None:
+        self.sim = sim
+        self.network = network
+        self.gateway = gateway
+        self.brokers: dict[str, Broker] = {}
+
+    def add_broker(self, name: str, site: str, **kw: Any) -> Broker:
+        if name in self.brokers:
+            raise ValueError(f"duplicate broker {name!r}")
+        broker = Broker(self.sim, name, site, **kw)
+        self.brokers[name] = broker
+        return broker
+
+    def publish(self, broker_name: str, src_site: str, topic: str,
+                message: Message, token: Optional[str] = None):
+        """Generator: publish ``message`` to ``topic`` via ``broker_name``.
+
+        Returns the number of queues the message was routed to.  Raises
+        :class:`BrokerDown`, network errors, or security errors.
+        """
+        broker = self.brokers[broker_name]
+        env = Envelope(message=message, src_site=src_site,
+                       dst_site=broker.site, token=token,
+                       enqueued_at=self.sim.now)
+        yield self.network.send(src_site, broker.site, env.size_bytes())
+        if not broker.alive:
+            raise BrokerDown(broker_name)
+        if self.gateway is not None:
+            delay = self.gateway.verify(env, action="publish")
+            if delay > 0:
+                yield self.sim.timeout(delay)
+        yield self.sim.timeout(broker.routing_delay_s)
+        return broker.route(topic, env)
+
+    def consume(self, broker_name: str, queue_name: str,
+                consumer_site: str, token: Optional[str] = None):
+        """Generator: pull the next envelope from a queue.
+
+        Models the delivery leg from the broker's site to the consumer's
+        site.  The caller must :meth:`Queue.ack`/:meth:`Queue.nack` the
+        returned envelope.
+        """
+        broker = self.brokers[broker_name]
+        if not broker.alive:
+            raise BrokerDown(broker_name)
+        queue = broker.queues[queue_name]
+        env: Envelope = yield queue.get()
+        if not broker.alive:
+            # The broker died between delivery and handoff: requeue so the
+            # message is redelivered after recovery (at-least-once).
+            queue.nack(env)
+            raise BrokerDown(broker_name)
+        if self.gateway is not None:
+            delay = self.gateway.verify(env, action="consume")
+            if delay > 0:
+                yield self.sim.timeout(delay)
+        yield self.network.send(broker.site, consumer_site, env.size_bytes())
+        return env

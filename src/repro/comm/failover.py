@@ -1,0 +1,147 @@
+"""Automatic failover across replicated endpoints (milestone M11).
+
+A :class:`FailoverGroup` fronts a primary RPC server and ordered standbys.
+A heartbeat monitor detects primary failure and promotes the next healthy
+standby; client calls routed through the group transparently retry against
+the new primary.  E4 measures the resulting recovery time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.comm.rpc import RpcClient, RpcServer, RpcTimeout, ServerDown
+from repro.net.transport import NetworkError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+
+class NoHealthyReplica(Exception):
+    """Every replica in the group is down."""
+
+
+class FailoverGroup:
+    """Primary/standby replica set with heartbeat-driven promotion.
+
+    Parameters
+    ----------
+    sim:
+        Kernel.
+    replicas:
+        Servers in promotion order; ``replicas[0]`` starts as primary.
+    heartbeat_interval_s:
+        Monitor probe period — the dominant term in failover latency.
+    heartbeat_misses:
+        Consecutive missed probes before the primary is declared dead.
+    """
+
+    def __init__(self, sim: "Simulator", replicas: list[RpcServer],
+                 heartbeat_interval_s: float = 0.1,
+                 heartbeat_misses: int = 2) -> None:
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self.sim = sim
+        self.replicas = list(replicas)
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_misses = heartbeat_misses
+        self._primary_idx = 0
+        self.events: list[tuple[float, str, str]] = []
+        self._monitor_proc = None
+
+    @property
+    def primary(self) -> RpcServer:
+        return self.replicas[self._primary_idx]
+
+    def healthy_replicas(self) -> list[RpcServer]:
+        return [r for r in self.replicas if r.alive]
+
+    # -- promotion ------------------------------------------------------------
+
+    def promote_next(self) -> RpcServer:
+        """Advance to the next healthy replica (monitor calls this)."""
+        for offset in range(1, len(self.replicas) + 1):
+            idx = (self._primary_idx + offset) % len(self.replicas)
+            if self.replicas[idx].alive:
+                self._primary_idx = idx
+                self.events.append(
+                    (self.sim.now, "promote", self.replicas[idx].name))
+                return self.replicas[idx]
+        raise NoHealthyReplica("all replicas down")
+
+    # -- heartbeat monitor -----------------------------------------------------------
+
+    def start_monitor(self, client: RpcClient) -> None:
+        """Spawn the heartbeat process probing the current primary."""
+        self._monitor_proc = self.sim.process(self._monitor(client))
+
+    def _monitor(self, client: RpcClient):
+        misses = 0
+        while True:
+            yield self.sim.timeout(self.heartbeat_interval_s)
+            primary = self.primary
+            try:
+                # Probe deadline must exceed the WAN round trip even at
+                # aggressive cadences, or healthy primaries look dead.
+                yield from client.call(
+                    primary, "_health", None,
+                    deadline_s=max(0.2, self.heartbeat_interval_s),
+                    retries=0)
+                misses = 0
+            except (RpcTimeout, ServerDown, NetworkError, KeyError):
+                misses += 1
+                self.events.append((self.sim.now, "miss", primary.name))
+                if misses >= self.heartbeat_misses:
+                    misses = 0
+                    try:
+                        self.promote_next()
+                    except NoHealthyReplica:
+                        self.events.append((self.sim.now, "all-down", ""))
+                        return
+
+    @staticmethod
+    def install_health_endpoint(server: RpcServer) -> None:
+        """Add the ``_health`` probe method replied to by live replicas."""
+        server.register("_health", lambda _payload: "ok")
+
+    # -- client-side routing --------------------------------------------------------------
+
+    def call(self, client: RpcClient, method: str, payload: Any = None,
+             *, deadline_s: float = 5.0, retries_per_replica: int = 1):
+        """Generator: call through the group, failing over on errors.
+
+        Tries the current primary first, then walks the healthy standbys.
+        Raises :class:`NoHealthyReplica` when everything is down.
+        """
+        tried: set[str] = set()
+        last_exc: Optional[Exception] = None
+        for _ in range(len(self.replicas)):
+            target = self.primary
+            if target.name in tried:
+                target = next(
+                    (r for r in self.healthy_replicas() if r.name not in tried),
+                    None)  # type: ignore[assignment]
+                if target is None:
+                    break
+            tried.add(target.name)
+            try:
+                result = yield from client.call(
+                    target, method, payload, deadline_s=deadline_s,
+                    retries=retries_per_replica)
+                return result
+            except (RpcTimeout, ServerDown, NetworkError) as exc:
+                last_exc = exc
+                self.events.append((self.sim.now, "client-failover",
+                                    target.name))
+                continue
+        raise NoHealthyReplica(f"no replica answered {method!r}: {last_exc}")
+
+    def recovery_time(self) -> Optional[float]:
+        """Sim-seconds between the last kill-observed miss and promotion."""
+        promote_times = [t for t, kind, _ in self.events if kind == "promote"]
+        miss_times = [t for t, kind, _ in self.events if kind == "miss"]
+        if not promote_times or not miss_times:
+            return None
+        first_promote = promote_times[0]
+        first_miss = min(t for t in miss_times if t <= first_promote)
+        return first_promote - first_miss

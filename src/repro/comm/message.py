@@ -1,0 +1,108 @@
+"""Agent messages: FIPA-flavoured performatives in typed envelopes.
+
+A :class:`Message` is what agents exchange; an :class:`Envelope` wraps it
+with routing and security metadata as it crosses the middleware.  The
+performative vocabulary follows FIPA-ACL, which both the Academy-style
+middleware and ROS2-style ecosystems cited in §3.4 approximate.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.comm.serialization import estimate_size
+
+_msg_counter = itertools.count(1)
+
+
+class Performative(enum.Enum):
+    """Speech-act types for inter-agent messages (FIPA-ACL subset)."""
+
+    REQUEST = "request"
+    INFORM = "inform"
+    PROPOSE = "propose"
+    ACCEPT = "accept"
+    REFUSE = "refuse"
+    FAILURE = "failure"
+    QUERY = "query"
+    SUBSCRIBE = "subscribe"
+    CANCEL = "cancel"
+    HEARTBEAT = "heartbeat"
+
+
+@dataclass
+class Message:
+    """A single unit of agent communication.
+
+    Attributes
+    ----------
+    performative:
+        The speech act (:class:`Performative`).
+    sender / recipient:
+        Logical agent names; ``recipient`` may be a topic for pub/sub.
+    payload:
+        Arbitrary structured content.
+    conversation_id:
+        Correlates multi-turn exchanges (negotiation, RPC).
+    reply_to:
+        Where responses should be directed.
+    headers:
+        Middleware metadata (auth token, schema id, trace context, ...).
+    """
+
+    performative: Performative
+    sender: str
+    recipient: str
+    payload: Any = None
+    conversation_id: str = ""
+    reply_to: str = ""
+    headers: dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+
+    def size_bytes(self) -> float:
+        """Estimated wire size of the message (payload + fixed overhead)."""
+        return 256.0 + estimate_size(self.payload) + estimate_size(self.headers)
+
+    def reply(self, performative: Performative, payload: Any = None,
+              sender: Optional[str] = None) -> "Message":
+        """Build a response correlated to this message."""
+        return Message(
+            performative=performative,
+            sender=sender or self.recipient,
+            recipient=self.reply_to or self.sender,
+            payload=payload,
+            conversation_id=self.conversation_id or str(self.msg_id),
+        )
+
+
+@dataclass
+class Envelope:
+    """Routing wrapper the middleware attaches to a message in flight.
+
+    Attributes
+    ----------
+    message:
+        The wrapped :class:`Message`.
+    src_site / dst_site:
+        Physical sites between which the envelope travels.
+    token:
+        Security token string (verified by the zero-trust gateway on every
+        hop — "continuous authentication", milestone M11).
+    attempt:
+        Delivery attempt number (for at-least-once redelivery).
+    enqueued_at:
+        Simulation time the envelope entered the middleware.
+    """
+
+    message: Message
+    src_site: str
+    dst_site: str
+    token: Optional[str] = None
+    attempt: int = 1
+    enqueued_at: float = 0.0
+
+    def size_bytes(self) -> float:
+        return self.message.size_bytes() + 128.0

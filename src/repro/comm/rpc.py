@@ -1,0 +1,226 @@
+"""gRPC-style synchronous request/response with deadlines and retries.
+
+An :class:`RpcServer` exposes named methods at a site; an
+:class:`RpcClient` calls them across the simulated WAN.  Calls carry a
+deadline (client-observed), bounded retries with exponential backoff, and
+optional zero-trust verification of *every* call — the M10/M11 middleware
+semantics.
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.comm.message import Envelope, Message, Performative
+from repro.comm.serialization import estimate_size
+from repro.net.transport import NetworkError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.transport import Network
+    from repro.sim.kernel import Simulator
+
+_call_ids = itertools.count(1)
+
+
+class RpcError(Exception):
+    """The server raised, or the method does not exist."""
+
+
+class RpcTimeout(Exception):
+    """The client-side deadline elapsed before a response arrived."""
+
+
+class ServerDown(RpcError):
+    """The target server is not accepting calls."""
+
+
+class RpcServer:
+    """A method registry bound to a site.
+
+    Handlers may be plain callables (``payload -> result``) or generator
+    functions (``payload -> generator``) when the handler itself needs to
+    spend simulated time (e.g. drive an instrument).
+
+    Parameters
+    ----------
+    handler_delay_s:
+        Fixed service time charged per call, on top of whatever the
+        handler itself consumes.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, site: str,
+                 handler_delay_s: float = 0.0005) -> None:
+        self.sim = sim
+        self.name = name
+        self.site = site
+        self.handler_delay_s = handler_delay_s
+        self.alive = True
+        self._methods: dict[str, Callable[..., Any]] = {}
+        self.stats = {"calls": 0, "errors": 0}
+
+    def register(self, method: str, handler: Callable[..., Any]) -> None:
+        self._methods[method] = handler
+
+    def method(self, name: str) -> Callable:
+        """Decorator form of :meth:`register`."""
+        def deco(fn: Callable[..., Any]) -> Callable[..., Any]:
+            self.register(name, fn)
+            return fn
+        return deco
+
+    def kill(self) -> None:
+        self.alive = False
+
+    def revive(self) -> None:
+        self.alive = True
+
+    def dispatch(self, method: str, payload: Any):
+        """Generator executing a method; returns its result."""
+        self.stats["calls"] += 1
+        if not self.alive:
+            self.stats["errors"] += 1
+            raise ServerDown(self.name)
+        handler = self._methods.get(method)
+        if handler is None:
+            self.stats["errors"] += 1
+            raise RpcError(f"{self.name}: no such method {method!r}")
+        if self.handler_delay_s > 0:
+            yield self.sim.timeout(self.handler_delay_s)
+        try:
+            if inspect.isgeneratorfunction(handler):
+                result = yield self.sim.process(handler(payload))
+            else:
+                result = handler(payload)
+        except (RpcError, RpcTimeout):
+            self.stats["errors"] += 1
+            raise
+        except Exception as exc:
+            self.stats["errors"] += 1
+            raise RpcError(f"{self.name}.{method} failed: {exc}") from exc
+        return result
+
+
+class RpcClient:
+    """Caller-side stub with deadline, retry, and security integration.
+
+    Parameters
+    ----------
+    sim, network:
+        Kernel and transport.
+    site:
+        The site this client runs at.
+    identity:
+        Logical caller name stamped on requests.
+    gateway:
+        Optional zero-trust gateway verifying each request at the server
+        edge (continuous authentication).
+    token:
+        Credential attached to every call (may be refreshed at any time by
+        assigning to :attr:`token`).
+    """
+
+    def __init__(self, sim: "Simulator", network: "Network", site: str,
+                 identity: str = "client", gateway: Any = None,
+                 token: Optional[str] = None) -> None:
+        self.sim = sim
+        self.network = network
+        self.site = site
+        self.identity = identity
+        self.gateway = gateway
+        self.token = token
+        self.stats = {"calls": 0, "retries": 0, "timeouts": 0,
+                      "failures": 0, "total_latency": 0.0}
+        self.latencies: list[float] = []
+
+    def call(self, server: RpcServer, method: str, payload: Any = None,
+             *, deadline_s: float = 5.0, retries: int = 2,
+             backoff_s: float = 0.05):
+        """Generator: invoke ``server.method(payload)``; returns the result.
+
+        ``yield from client.call(...)`` from inside a process.  Raises
+        :class:`RpcTimeout` once the deadline passes (cumulative across
+        retries) and propagates server-side :class:`RpcError`.
+        """
+        self.stats["calls"] += 1
+        start = self.sim.now
+        deadline = start + deadline_s
+        attempt = 0
+        last_exc: Optional[Exception] = None
+        while self.sim.now < deadline and attempt <= retries:
+            attempt += 1
+            if attempt > 1:
+                self.stats["retries"] += 1
+                pause = min(backoff_s * (2 ** (attempt - 2)),
+                            max(0.0, deadline - self.sim.now))
+                if pause > 0:
+                    yield self.sim.timeout(pause)
+            work = self.sim.process(
+                self._attempt(server, method, payload))
+            timeout = self.sim.timeout(max(0.0, deadline - self.sim.now))
+            try:
+                result = yield work | timeout
+            except (NetworkError, ServerDown) as exc:
+                last_exc = exc
+                continue  # transient failure: retry until budget exhausted
+            if work in result:
+                latency = self.sim.now - start
+                self.stats["total_latency"] += latency
+                self.latencies.append(latency)
+                return result[work]
+            # Deadline fired first; detach from the in-flight attempt and
+            # absorb its eventual interrupt-failure quietly.
+            if work.is_alive:
+                work.interrupt("deadline")
+                if work.callbacks is not None:
+                    work.callbacks.append(
+                        lambda ev: setattr(ev, "_defused", True))
+            self.stats["timeouts"] += 1
+            raise RpcTimeout(
+                f"{server.name}.{method} deadline after {deadline_s}s")
+        self.stats["timeouts"] += 1
+        detail = f" (last error: {last_exc})" if last_exc is not None else ""
+        raise RpcTimeout(
+            f"{server.name}.{method} deadline after {deadline_s}s{detail}")
+
+    def _attempt(self, server: RpcServer, method: str, payload: Any):
+        req = Message(performative=Performative.REQUEST,
+                      sender=self.identity, recipient=server.name,
+                      payload={"method": method, "args": payload})
+        env = Envelope(message=req, src_site=self.site, dst_site=server.site,
+                       token=self.token, enqueued_at=self.sim.now)
+        yield self.network.send(self.site, server.site, env.size_bytes())
+        if self.gateway is not None:
+            delay = self.gateway.verify(env, action=f"rpc:{method}")
+            if delay > 0:
+                yield self.sim.timeout(delay)
+        result = yield self.sim.process(server.dispatch(method, payload))
+        resp_size = 256.0 + estimate_size(result)
+        yield self.network.send(server.site, self.site, resp_size)
+        return result
+
+    def call_with_retries_on(self, server: RpcServer, method: str,
+                             payload: Any = None, *,
+                             retry_exceptions: tuple = (NetworkError,),
+                             deadline_s: float = 5.0, retries: int = 2,
+                             backoff_s: float = 0.05):
+        """Like :meth:`call` but retries on transient transport failures."""
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = yield from self.call(
+                    server, method, payload, deadline_s=deadline_s,
+                    retries=0, backoff_s=backoff_s)
+                return result
+            except retry_exceptions as exc:
+                self.stats["failures"] += 1
+                if attempt > retries:
+                    raise
+                self.stats["retries"] += 1
+                yield self.sim.timeout(backoff_s * (2 ** (attempt - 1)))
+
+    def mean_latency(self) -> float:
+        return (self.stats["total_latency"] / len(self.latencies)
+                if self.latencies else 0.0)

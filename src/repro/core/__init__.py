@@ -1,0 +1,49 @@
+"""AI-agent-driven autonomous orchestration — the AISLE core (§3.3).
+
+- :mod:`repro.core.campaign` — campaign specs and results.
+- :mod:`repro.core.verification` — the M8 verification stack: physics
+  constraints + digital-twin in-situ checks + surrogate consistency.
+- :mod:`repro.core.orchestrator` — the hierarchical orchestrator
+  (LLM-as-orchestrator over sound methods) and its campaign loop.
+- :mod:`repro.core.manual` — the human-in-every-loop baseline (E1/E10).
+- :mod:`repro.core.knowledge` — cross-facility knowledge integration (M9).
+- :mod:`repro.core.faulttol` — fault-tolerant execution (M3, E11).
+- :mod:`repro.core.federation` — multi-site lab construction and sample
+  logistics.
+- :mod:`repro.core.workflow` — dependency-DAG execution of multi-step
+  experimental workflows.
+- :mod:`repro.core.metrics` — speedup / time-to-target accounting.
+"""
+
+from repro.core.campaign import CampaignResult, CampaignSpec, ExperimentRecord
+from repro.core.faulttol import FaultTolerantExecutor
+from repro.core.federation import FederationManager, LabSite
+from repro.core.knowledge import KnowledgeBase
+from repro.core.manual import ManualOrchestrator
+from repro.core.metrics import experiments_to_target, speedup, time_to_target
+from repro.core.orchestrator import HierarchicalOrchestrator
+from repro.core.verification import (PhysicsConstraintVerifier,
+                                     SurrogateConsistencyVerifier,
+                                     TwinVerifier, VerificationStack)
+from repro.core.workflow import WorkflowDAG, WorkflowStep
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "ExperimentRecord",
+    "FaultTolerantExecutor",
+    "FederationManager",
+    "HierarchicalOrchestrator",
+    "KnowledgeBase",
+    "LabSite",
+    "ManualOrchestrator",
+    "PhysicsConstraintVerifier",
+    "SurrogateConsistencyVerifier",
+    "TwinVerifier",
+    "VerificationStack",
+    "WorkflowDAG",
+    "WorkflowStep",
+    "experiments_to_target",
+    "speedup",
+    "time_to_target",
+]

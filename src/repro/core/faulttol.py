@@ -1,0 +1,125 @@
+"""Fault-tolerant experiment execution (M3, experiment E11).
+
+Wraps an executor with the "adaptive fault-tolerant coordination
+mechanisms" the roadmap calls for:
+
+- **retry with repair**: on an instrument fault, dispatch repair and
+  retry the plan (bounded attempts);
+- **failover**: if alternate executors are registered (another site's
+  identical rig), re-route the plan there while repair proceeds;
+- **supervision**: agent crashes are already covered by
+  :class:`repro.agents.lifecycle.Supervisor`; this class handles the
+  hardware side.
+
+Without fault tolerance, a single instrument fault ends the campaign
+(the ``HierarchicalOrchestrator`` lets :class:`InstrumentFault`
+propagate) — that contrast is E11.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.agents.executor import ExecutorAgent, ExperimentOutcome
+from repro.agents.planner import ExperimentPlan
+from repro.instruments.base import Instrument, InstrumentStatus
+from repro.instruments.errors import InstrumentFault
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+
+class FaultTolerantExecutor:
+    """Retry/repair/failover wrapper around one or more executors.
+
+    Parameters
+    ----------
+    sim:
+        Kernel.
+    primary:
+        The home executor.
+    primary_instruments:
+        Instruments whose faults we can repair (the synthesis rig and the
+        characterization instrument, typically).
+    alternates:
+        Executors at other sites that can run the same plan.
+    max_attempts:
+        Total execution attempts per plan across all routes.
+    """
+
+    def __init__(self, sim: "Simulator", primary: ExecutorAgent,
+                 primary_instruments: Optional[list[Instrument]] = None,
+                 alternates: Optional[list[ExecutorAgent]] = None,
+                 max_attempts: int = 3) -> None:
+        self.sim = sim
+        self.primary = primary
+        self.primary_instruments = list(primary_instruments or [])
+        self.alternates = list(alternates or [])
+        self.max_attempts = max_attempts
+        self.stats = {"attempts": 0, "faults_handled": 0, "repairs": 0,
+                      "failovers": 0, "gave_up": 0}
+        self.events: list[tuple[float, str, str]] = []
+        self._repairing: set[str] = set()
+
+    def _repair_faulted(self):
+        """Generator: repair every faulted primary instrument (blocking)."""
+        for inst in self.primary_instruments:
+            if (inst.status is InstrumentStatus.FAULT
+                    and inst.name not in self._repairing):
+                self._repairing.add(inst.name)
+                self.events.append((self.sim.now, "repair-start", inst.name))
+                try:
+                    yield from inst.repair()
+                finally:
+                    self._repairing.discard(inst.name)
+                self.stats["repairs"] += 1
+                self.events.append((self.sim.now, "repair-done", inst.name))
+
+    def _start_background_repair(self) -> None:
+        """Dispatch repair without blocking the campaign (failover mode)."""
+        self.sim.process(self._repair_faulted())
+
+    def execute(self, plan: ExperimentPlan):
+        """Generator: run a plan with fault handling; returns the outcome.
+
+        Raises :class:`InstrumentFault` only after every route and
+        attempt is exhausted.
+        """
+        last_fault: Optional[InstrumentFault] = None
+        for attempt in range(1, self.max_attempts + 1):
+            self.stats["attempts"] += 1
+            # Route: primary unless it is down and an alternate is up.
+            route = self.primary
+            if self._primary_down() and self.alternates:
+                route = self._pick_alternate() or self.primary
+                if route is not self.primary:
+                    self.stats["failovers"] += 1
+                    self.events.append(
+                        (self.sim.now, "failover", route.site))
+            try:
+                outcome = yield from route.execute(plan)
+                return outcome
+            except InstrumentFault as exc:
+                last_fault = exc
+                self.stats["faults_handled"] += 1
+                self.events.append((self.sim.now, "fault", str(exc)))
+                if route is self.primary:
+                    if self.alternates:
+                        # Fail over now; fix the primary in the background.
+                        self._start_background_repair()
+                    else:
+                        # No alternate: the campaign waits out the repair.
+                        yield from self._repair_faulted()
+        self.stats["gave_up"] += 1
+        raise last_fault or InstrumentFault("execution failed")
+
+    def _primary_down(self) -> bool:
+        return any(inst.status in (InstrumentStatus.FAULT,
+                                   InstrumentStatus.OFFLINE)
+                   for inst in self.primary_instruments)
+
+    def _pick_alternate(self) -> Optional[ExecutorAgent]:
+        for alt in self.alternates:
+            if alt.alive or alt.state.value == "init":
+                return alt
+        return None

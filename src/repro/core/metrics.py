@@ -1,0 +1,52 @@
+"""Campaign comparison metrics used throughout the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.campaign import CampaignResult
+
+
+def time_to_target(result: CampaignResult,
+                   target: float) -> Optional[float]:
+    """Sim-seconds from campaign start until the target was first met.
+
+    ``None`` when the campaign never reached it.
+    """
+    for record in result.records:
+        if (record.valid and record.objective is not None
+                and record.objective >= target):
+            return record.finished - result.started
+    return None
+
+
+def experiments_to_target(result: CampaignResult,
+                          target: float) -> Optional[int]:
+    """Number of executed experiments until the target was first met."""
+    for i, record in enumerate(result.records, start=1):
+        if (record.valid and record.objective is not None
+                and record.objective >= target):
+            return i
+    return None
+
+
+def speedup(baseline_time: Optional[float],
+            improved_time: Optional[float]) -> Optional[float]:
+    """baseline / improved, None-propagating.
+
+    ``None`` in either slot (target never reached) yields ``None`` —
+    benchmarks report "DNF" rather than a fabricated ratio.
+    """
+    if baseline_time is None or improved_time is None:
+        return None
+    if improved_time <= 0:
+        return float("inf")
+    return baseline_time / improved_time
+
+
+def reduction_fraction(baseline: Optional[float],
+                       improved: Optional[float]) -> Optional[float]:
+    """1 - improved/baseline: the M9-style ">30% fewer" metric."""
+    if baseline is None or improved is None or baseline <= 0:
+        return None
+    return 1.0 - improved / baseline

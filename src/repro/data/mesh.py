@@ -1,0 +1,284 @@
+"""Federated data mesh with cross-institutional discovery (milestone M6).
+
+"Priority should be given to implementing data mesh architectures in which
+each laboratory maintains a federated node with standardized interfaces,
+complemented by global discovery indices" (§3.2).
+
+Records live at their producing site's :class:`DataMeshNode` (data
+sovereignty); only metadata-only *index entries* replicate to the shared
+:class:`DiscoveryIndex`.  Cross-site fetches go over the simulated WAN and
+through the zero-trust gateway, with ABAC deciding whether e.g. a
+``restricted`` record may leave its institution.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.comm.message import Envelope, Message, Performative
+from repro.data.fair import FairGovernor, fair_score
+from repro.data.provenance import ProvenanceGraph
+from repro.data.record import DataRecord
+from repro.data.schema import SchemaRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.transport import Network
+    from repro.sim.kernel import Simulator
+
+
+class AccessDenied(Exception):
+    """ABAC refused a cross-institutional data access."""
+
+
+class DiscoveryIndex:
+    """The global, metadata-only index all mesh nodes share."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, dict[str, Any]] = {}
+        self.stats = {"publishes": 0, "queries": 0}
+
+    def publish(self, entry: dict[str, Any]) -> None:
+        self._entries[entry["record_id"]] = entry
+        self.stats["publishes"] += 1
+
+    def remove(self, record_id: str) -> None:
+        self._entries.pop(record_id, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._entries
+
+    def query(self, predicate: Optional[Callable[[dict[str, Any]], bool]] = None,
+              **equals: Any) -> list[dict[str, Any]]:
+        """Find index entries by equality filters and/or a predicate.
+
+        Dotted keys reach into ``metadata`` (e.g.
+        ``query(**{"metadata.technique": "powder-xrd"})``).
+        """
+        self.stats["queries"] += 1
+        out = []
+        for entry in self._entries.values():
+            ok = True
+            for key, want in equals.items():
+                value: Any = entry
+                for part in key.split("."):
+                    value = value.get(part) if isinstance(value, dict) else None
+                    if value is None:
+                        break
+                if value != want:
+                    ok = False
+                    break
+            if ok and (predicate is None or predicate(entry)):
+                out.append(entry)
+        return sorted(out, key=lambda e: e["record_id"])
+
+
+class DataMeshNode:
+    """One laboratory's federated data node.
+
+    Parameters
+    ----------
+    sim, network:
+        Kernel and transport.
+    site / institution:
+        Identity of the hosting lab.
+    index:
+        The shared :class:`DiscoveryIndex`.
+    schemas:
+        Local schema registry (a copy of community schemas, typically).
+    governor:
+        Optional FAIR governor auditing records on ingest.
+    gateway:
+        Optional zero-trust gateway; cross-site fetches are verified.
+    index_latency_s:
+        Asynchronous delay before a published record is discoverable
+        (index replication lag).
+    """
+
+    def __init__(self, sim: "Simulator", network: "Network", site: str,
+                 institution: str, index: DiscoveryIndex,
+                 schemas: Optional[SchemaRegistry] = None,
+                 governor: Optional[FairGovernor] = None,
+                 gateway: Any = None,
+                 index_latency_s: float = 0.5) -> None:
+        self.sim = sim
+        self.network = network
+        self.site = site
+        self.institution = institution
+        self.index = index
+        self.schemas = schemas or SchemaRegistry()
+        self.governor = governor
+        self.gateway = gateway
+        self.provenance = ProvenanceGraph()
+        self.index_latency_s = index_latency_s
+        self._records: dict[str, DataRecord] = {}
+        self.stats = {"ingested": 0, "served": 0, "denied": 0}
+
+    # -- ingest -----------------------------------------------------------------
+
+    def ingest(self, record: DataRecord) -> DataRecord:
+        """Store a locally-produced record and schedule index publication."""
+        record.site = record.site or self.site
+        record.institution = record.institution or self.institution
+        if self.governor is not None:
+            self.governor.audit(record, time=self.sim.now,
+                                indexed=False, schemas=self.schemas,
+                                provenance=self.provenance)
+        self._records[record.record_id] = record
+        self.stats["ingested"] += 1
+        entry = record.index_entry()
+        # Index replication is asynchronous: discoverable after a lag.
+        self.sim.schedule_callback(self.index_latency_s,
+                                   lambda: self.index.publish(entry))
+        return record
+
+    def normalize_and_ingest(self, record: DataRecord, schema_name: str,
+                             producer_units: Optional[dict[str, str]] = None
+                             ) -> DataRecord:
+        """Ingest a foreign-dialect record by negotiating onto a schema.
+
+        The §3.2 "implicit schema" path: the producer's field names/units
+        need not match ours — the negotiator maps via aliases and unit
+        suffixes (``temperature_K`` satisfies ``temperature``) and the
+        values are rewritten in canonical form before ingest.  Raises
+        :class:`~repro.data.schema.SchemaError` when required fields
+        cannot be satisfied.
+        """
+        from repro.data.schema import SchemaNegotiator
+        schema = self.schemas.latest(schema_name)
+        if schema is None:
+            from repro.data.schema import SchemaError
+            raise SchemaError(f"no schema named {schema_name!r} registered")
+        units = producer_units or record.metadata.get("units") or {}
+        producer_fields = {k: units.get(k, "") for k in record.values}
+        negotiator = SchemaNegotiator(self.schemas)
+        mappings = negotiator.negotiate(producer_fields, schema)
+        record.values = SchemaNegotiator.apply(mappings, record.values)
+        record.schema_id = schema.schema_id
+        record.metadata["units"] = {f.name: f.unit for f in schema.fields
+                                    if f.name in record.values}
+        return self.ingest(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def has(self, record_id: str) -> bool:
+        return record_id in self._records
+
+    def local(self, record_id: str) -> DataRecord:
+        return self._records[record_id]
+
+    def local_records(self) -> list[DataRecord]:
+        return [self._records[k] for k in sorted(self._records)]
+
+    # -- serving -------------------------------------------------------------------
+
+    def _authorize(self, record: DataRecord, requester_token: Any,
+                   requester_site: str) -> None:
+        if self.gateway is None:
+            return
+        from repro.security.zerotrust import SecurityError
+        msg = Message(Performative.REQUEST, sender=requester_site,
+                      recipient=self.site)
+        env = Envelope(message=msg, src_site=requester_site,
+                       dst_site=self.site, token=requester_token,
+                       enqueued_at=self.sim.now)
+        # data:export is the governed action for data leaving the node;
+        # the owning institution's policy decides (e.g. a record tagged
+        # ``restricted`` never leaves).
+        try:
+            self.gateway.verify_resource(
+                env, "data:export",
+                {"sensitivity": record.sensitivity,
+                 "record_id": record.record_id,
+                 "institution": record.institution})
+        except SecurityError as exc:
+            raise AccessDenied(str(exc)) from exc
+
+    def fetch(self, record_id: str, requester_site: str,
+              requester_token: Any = None):
+        """Generator: serve a record to a (possibly remote) requester.
+
+        Index metadata is global, but the *data* transfer happens here —
+        and only if policy allows it to leave.
+        """
+        record = self._records.get(record_id)
+        if record is None:
+            raise KeyError(f"{record_id} is not held at {self.site}")
+        try:
+            self._authorize(record, requester_token, requester_site)
+        except AccessDenied:
+            self.stats["denied"] += 1
+            raise
+        yield self.network.send(self.site, requester_site,
+                                record.size_bytes())
+        self.stats["served"] += 1
+        return record
+
+    # -- FAIR accounting -----------------------------------------------------------------
+
+    def mean_fair_score(self) -> float:
+        if not self._records:
+            return 0.0
+        scores = [fair_score(r, indexed=r.record_id in self.index,
+                             schemas=self.schemas,
+                             provenance=self.provenance).overall
+                  for r in self._records.values()]
+        return float(sum(scores) / len(scores))
+
+
+class FederatedDataMesh:
+    """Facade over all nodes: discovery + transparent cross-site fetch."""
+
+    def __init__(self, sim: "Simulator", network: "Network",
+                 index: Optional[DiscoveryIndex] = None) -> None:
+        self.sim = sim
+        self.network = network
+        self.index = index or DiscoveryIndex()
+        self.nodes: dict[str, DataMeshNode] = {}
+
+    def add_node(self, node: DataMeshNode) -> DataMeshNode:
+        if node.site in self.nodes:
+            raise ValueError(f"duplicate mesh node for site {node.site!r}")
+        if node.index is not self.index:
+            raise ValueError("node must share the mesh's discovery index")
+        self.nodes[node.site] = node
+        return node
+
+    def make_node(self, site: str, institution: str, **kw: Any) -> DataMeshNode:
+        node = DataMeshNode(self.sim, self.network, site, institution,
+                            self.index, **kw)
+        return self.add_node(node)
+
+    def discover(self, from_site: str, **filters: Any):
+        """Generator: query the index (pays one WAN hop to it).
+
+        The index is modelled as co-hosted with the first registered node.
+        """
+        index_site = next(iter(self.nodes)) if self.nodes else from_site
+        yield self.network.send(from_site, index_site, 256.0)
+        entries = self.index.query(**filters)
+        yield self.network.send(index_site, from_site,
+                                256.0 + 256.0 * len(entries))
+        return entries
+
+    def fetch(self, record_id: str, to_site: str, token: Any = None):
+        """Generator: locate a record via the index and pull it."""
+        entry = None
+        if record_id in self.index:
+            entries = self.index.query(record_id=record_id)
+            entry = entries[0] if entries else None
+        if entry is None:
+            # Fall back to a scan of nodes (e.g. before index replication).
+            for node in self.nodes.values():
+                if node.has(record_id):
+                    entry = {"site": node.site}
+                    break
+        if entry is None:
+            raise KeyError(f"{record_id} not known to the federation")
+        home = self.nodes[entry["site"]]
+        record = yield from home.fetch(record_id, requester_site=to_site,
+                                       requester_token=token)
+        return record

@@ -1,0 +1,167 @@
+"""AI-driven metadata extraction (milestone M5, experiment E8).
+
+"Develop AI-driven metadata systems with automated annotation of
+experimental data in multiple domains, achieving high accuracy without
+human intervention."
+
+The :class:`MetadataExtractor` plays the trained annotation model: it sees
+only the heterogeneous *raw* payloads instruments emit (spectra,
+diffraction patterns, micrographs, plate maps, free-form dicts) and infers
+technique, quantities, and units.  It is a deterministic
+feature-recognizer — structure shapes, key vocabularies, unit suffixes —
+so extraction accuracy is measurable against the known ground truth
+carried by the producing instrument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+#: key-substring -> (canonical quantity, unit)
+_KEY_VOCABULARY: dict[str, tuple[str, str]] = {
+    "plqy": ("plqy", "fraction"),
+    "quantum_yield": ("plqy", "fraction"),
+    "emission": ("emission_nm", "nm"),
+    "wavelength": ("emission_nm", "nm"),
+    "crystallinity": ("crystallinity", "fraction"),
+    "uniformity": ("uniformity", "fraction"),
+    "grain": ("grain_density", "1/um^2"),
+    "conductivity": ("conductivity", "S/cm"),
+    "gfa": ("gfa", "fraction"),
+    "temperature": ("temperature", "C"),
+    "volume": ("volume", "mL"),
+}
+
+_UNIT_SUFFIXES = {"_K": "K", "_C": "C", "_F": "F", "_nm": "nm", "_min": "min",
+                  "_s": "s", "_hr": "hr", "_uL": "uL", "_mL": "mL"}
+
+
+@dataclass
+class Annotation:
+    """The extractor's structured description of one payload."""
+
+    technique: str = "unknown"
+    quantities: dict[str, str] = field(default_factory=dict)  # name -> unit
+    array_shapes: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    confidence: float = 0.0
+    evidence: list[str] = field(default_factory=list)
+
+    def as_metadata(self) -> dict[str, Any]:
+        return {"technique": self.technique,
+                "quantities": dict(self.quantities),
+                "annotation_confidence": self.confidence}
+
+
+class MetadataExtractor:
+    """Structure- and vocabulary-based payload annotation.
+
+    Parameters
+    ----------
+    min_confidence:
+        Annotations below this confidence report technique "unknown"
+        (precision/recall trade-off knob swept by the E8 ablation).
+    """
+
+    def __init__(self, min_confidence: float = 0.3) -> None:
+        self.min_confidence = min_confidence
+        self.stats = {"extractions": 0, "unknowns": 0}
+
+    # -- entry point --------------------------------------------------------------
+
+    def extract(self, raw: Any,
+                values: Optional[Mapping[str, Any]] = None) -> Annotation:
+        """Annotate one raw payload (plus scalar values, when available)."""
+        self.stats["extractions"] += 1
+        ann = Annotation()
+        self._walk(raw, ann, path="raw")
+        if values:
+            for key in values:
+                self._classify_key(str(key), ann)
+        ann.technique, tech_conf = self._infer_technique(ann)
+        quantity_conf = min(1.0, 0.25 * len(ann.quantities))
+        ann.confidence = round(0.65 * tech_conf + 0.35 * quantity_conf, 4)
+        if ann.confidence < self.min_confidence:
+            ann.technique = "unknown"
+        if ann.technique == "unknown":
+            self.stats["unknowns"] += 1
+        return ann
+
+    # -- payload walking ----------------------------------------------------------------
+
+    def _walk(self, obj: Any, ann: Annotation, path: str,
+              depth: int = 0) -> None:
+        if depth > 8:
+            return
+        if isinstance(obj, np.ndarray):
+            ann.array_shapes[path] = tuple(obj.shape)
+            return
+        if isinstance(obj, Mapping):
+            for k, v in obj.items():
+                self._classify_key(str(k), ann)
+                self._walk(v, ann, f"{path}.{k}", depth + 1)
+            return
+        if isinstance(obj, (list, tuple)):
+            # (key, value)-pair style payloads (custom-lab dialect).
+            for item in obj:
+                if (isinstance(item, (list, tuple)) and len(item) == 2
+                        and isinstance(item[0], str)):
+                    self._classify_key(item[0], ann)
+                else:
+                    self._walk(item, ann, path, depth + 1)
+
+    def _classify_key(self, key: str, ann: Annotation) -> None:
+        lowered = key.lower()
+        unit = ""
+        for suffix, u in _UNIT_SUFFIXES.items():
+            if key.endswith(suffix):
+                unit = u
+                lowered = lowered[: -len(suffix)]
+                break
+        for fragment, (canonical, default_unit) in _KEY_VOCABULARY.items():
+            if fragment in lowered:
+                ann.quantities[canonical] = unit or default_unit
+                ann.evidence.append(f"key:{key}")
+                return
+
+    # -- technique inference -----------------------------------------------------------------
+
+    def _infer_technique(self, ann: Annotation) -> tuple[str, float]:
+        """Vote on technique from structural + vocabulary evidence."""
+        votes: dict[str, float] = {}
+
+        def vote(tech: str, weight: float, why: str) -> None:
+            votes[tech] = votes.get(tech, 0.0) + weight
+            ann.evidence.append(f"{why}->{tech}")
+
+        for path, shape in ann.array_shapes.items():
+            name = path.rsplit(".", 1)[-1].lower()
+            if "spectrum" in name or "counts" in name or "two_theta" in name:
+                if "two_theta" in name or "counts" in name:
+                    vote("powder-xrd", 0.6, f"array:{name}")
+                else:
+                    vote("photoluminescence", 0.6, f"array:{name}")
+            elif len(shape) == 2 and shape[0] == shape[1]:
+                vote("electron-microscopy", 0.7, f"square-image:{shape}")
+            elif len(shape) == 2 and shape[0] == 2:
+                # A (2, N) xy-pair array: some 1-D scan.
+                vote("photoluminescence", 0.3, f"xy-array:{shape}")
+        if "plqy" in ann.quantities or "emission_nm" in ann.quantities:
+            vote("photoluminescence", 0.5, "quantity:optical")
+        if "crystallinity" in ann.quantities:
+            vote("powder-xrd", 0.5, "quantity:crystallinity")
+        if "uniformity" in ann.quantities or "grain_density" in ann.quantities:
+            vote("electron-microscopy", 0.5, "quantity:texture")
+        for e in list(ann.evidence):
+            if "plate" in e.lower() or "deck" in e.lower():
+                vote("liquid-handling", 0.8, "vocab:plate")
+        if not votes:
+            return "unknown", 0.0
+        tech = max(sorted(votes), key=lambda t: votes[t])
+        return tech, min(1.0, votes[tech])
+
+#: Keys the walker treats as liquid-handling evidence.
+for _k in ("plate", "deck_state", "transfers"):
+    _KEY_VOCABULARY.setdefault(_k, (_k, ""))

@@ -1,0 +1,167 @@
+"""PROV-O-style provenance graphs (§3.2, ref [13]).
+
+"Integration of data provenance frameworks (e.g., PROV-O) into instrument
+middleware will ensure comprehensive traceability of autonomous decisions
+across distributed facilities."
+
+The model follows PROV's core trio — entities (data, samples), activities
+(syntheses, measurements, analyses, decisions), agents (AI planners,
+instruments, humans) — with the standard relations as typed edges on a
+``networkx`` DiGraph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import networkx as nx
+
+#: PROV relation names used as edge ``kind``.
+USED = "used"
+GENERATED_BY = "wasGeneratedBy"
+ASSOCIATED_WITH = "wasAssociatedWith"
+DERIVED_FROM = "wasDerivedFrom"
+INFORMED_BY = "wasInformedBy"
+ATTRIBUTED_TO = "wasAttributedTo"
+
+
+class ProvenanceGraph:
+    """A typed provenance DAG with PROV-O relation vocabulary."""
+
+    def __init__(self) -> None:
+        self._g = nx.DiGraph()
+
+    # -- node creation ---------------------------------------------------------
+
+    def _add_node(self, node_id: str, prov_type: str, **attrs: Any) -> str:
+        if node_id in self._g:
+            existing = self._g.nodes[node_id].get("prov_type")
+            if existing != prov_type:
+                raise ValueError(
+                    f"{node_id!r} already recorded as {existing}")
+            self._g.nodes[node_id].update(attrs)
+            return node_id
+        self._g.add_node(node_id, prov_type=prov_type, **attrs)
+        return node_id
+
+    def entity(self, entity_id: str, **attrs: Any) -> str:
+        """Record a data/sample entity."""
+        return self._add_node(entity_id, "entity", **attrs)
+
+    def activity(self, activity_id: str, *, started: float = 0.0,
+                 ended: float = 0.0, **attrs: Any) -> str:
+        """Record an activity (synthesis, measurement, agent decision...)."""
+        return self._add_node(activity_id, "activity", started=started,
+                              ended=ended, **attrs)
+
+    def agent(self, agent_id: str, **attrs: Any) -> str:
+        """Record an agent (AI planner, instrument, human operator)."""
+        return self._add_node(agent_id, "agent", **attrs)
+
+    # -- relations ----------------------------------------------------------------
+
+    def _relate(self, src: str, dst: str, kind: str) -> None:
+        for node in (src, dst):
+            if node not in self._g:
+                raise KeyError(f"unknown provenance node {node!r}")
+        self._g.add_edge(src, dst, kind=kind)
+
+    def used(self, activity: str, entity: str) -> None:
+        self._relate(activity, entity, USED)
+
+    def was_generated_by(self, entity: str, activity: str) -> None:
+        self._relate(entity, activity, GENERATED_BY)
+
+    def was_associated_with(self, activity: str, agent: str) -> None:
+        self._relate(activity, agent, ASSOCIATED_WITH)
+
+    def was_derived_from(self, entity: str, source_entity: str) -> None:
+        self._relate(entity, source_entity, DERIVED_FROM)
+
+    def was_informed_by(self, activity: str, earlier_activity: str) -> None:
+        self._relate(activity, earlier_activity, INFORMED_BY)
+
+    def was_attributed_to(self, entity: str, agent: str) -> None:
+        self._relate(entity, agent, ATTRIBUTED_TO)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._g
+
+    def __len__(self) -> int:
+        return self._g.number_of_nodes()
+
+    def node_type(self, node_id: str) -> str:
+        return self._g.nodes[node_id]["prov_type"]
+
+    def attrs(self, node_id: str) -> dict[str, Any]:
+        return dict(self._g.nodes[node_id])
+
+    def lineage(self, entity_id: str) -> list[str]:
+        """Every node reachable from ``entity_id`` along provenance edges.
+
+        This answers "how was this number produced?" — the full upstream
+        closure of samples, activities, and agents.
+        """
+        if entity_id not in self._g:
+            raise KeyError(entity_id)
+        return sorted(nx.descendants(self._g, entity_id))
+
+    def derived_products(self, entity_id: str) -> list[str]:
+        """Downstream entities that (transitively) derive from this one."""
+        if entity_id not in self._g:
+            raise KeyError(entity_id)
+        upstream_of = nx.ancestors(self._g, entity_id)
+        return sorted(n for n in upstream_of
+                      if self._g.nodes[n]["prov_type"] == "entity")
+
+    def responsible_agents(self, entity_id: str) -> list[str]:
+        """All agents in the entity's lineage — who to ask about it."""
+        return [n for n in self.lineage(entity_id)
+                if self._g.nodes[n]["prov_type"] == "agent"]
+
+    def generating_activity(self, entity_id: str) -> Optional[str]:
+        for _, dst, data in self._g.out_edges(entity_id, data=True):
+            if data["kind"] == GENERATED_BY:
+                return dst
+        return None
+
+    # -- completeness metric (E9) ---------------------------------------------------------
+
+    def completeness(self, entity_id: str) -> float:
+        """Fraction of provenance questions answerable for an entity.
+
+        Checks: (1) a generating activity exists, (2) that activity has an
+        associated agent, (3) the activity's inputs are recorded (``used``
+        edge or a ``wasDerivedFrom``), (4) timestamps present.
+        """
+        if entity_id not in self._g:
+            return 0.0
+        score = 0.0
+        activity = self.generating_activity(entity_id)
+        if activity is not None:
+            score += 0.25
+            edges = self._g.out_edges(activity, data=True)
+            if any(d["kind"] == ASSOCIATED_WITH for _, _, d in edges):
+                score += 0.25
+            has_inputs = (any(d["kind"] == USED for _, _, d in edges)
+                          or any(d["kind"] == DERIVED_FROM for _, _, d in
+                                 self._g.out_edges(entity_id, data=True)))
+            if has_inputs:
+                score += 0.25
+            if self._g.nodes[activity].get("ended", 0.0) > 0.0:
+                score += 0.25
+        return score
+
+    # -- export ------------------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-shaped export (PROV-JSON-like)."""
+        return {
+            "nodes": [{"id": n, **self._g.nodes[n]} for n in
+                      sorted(self._g.nodes)],
+            "edges": [{"src": u, "dst": v, "kind": d["kind"]}
+                      for u, v, d in sorted(self._g.edges(data=True),
+                                            key=lambda e: (e[0], e[1]))],
+        }

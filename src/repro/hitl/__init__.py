@@ -1,0 +1,30 @@
+"""Education, workforce development, and human-AI teaming (§3.5, M13-M14).
+
+Dimension 5 of the paper is about *people*: operators who must retain
+override authority (M4), scientists whose trust in autonomy must be
+calibrated rather than blind (ref [9]), and trainees acquiring human-AI
+collaboration competencies in virtual laboratories (M14).  Each of those
+is a behavioural model here:
+
+- :mod:`repro.hitl.trust` — adaptive trust dynamics and calibration error.
+- :mod:`repro.hitl.override` — the human-in-the-loop safeguard layer.
+- :mod:`repro.hitl.curriculum` — the virtual-lab training environment.
+- :mod:`repro.hitl.assessment` — scenario-based competency assessment.
+"""
+
+from repro.hitl.assessment import AssessmentScenario, CompetencyAssessment
+from repro.hitl.curriculum import (COMPETENCIES, Trainee, TrainingModule,
+                                   VirtualLabCurriculum)
+from repro.hitl.override import OperatorOverride
+from repro.hitl.trust import TrustModel
+
+__all__ = [
+    "AssessmentScenario",
+    "COMPETENCIES",
+    "CompetencyAssessment",
+    "OperatorOverride",
+    "Trainee",
+    "TrainingModule",
+    "TrustModel",
+    "VirtualLabCurriculum",
+]

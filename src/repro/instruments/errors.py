@@ -1,0 +1,25 @@
+"""Instrument-layer exceptions."""
+
+from __future__ import annotations
+
+
+class InstrumentError(Exception):
+    """Base class for instrument failures."""
+
+
+class InstrumentFault(InstrumentError):
+    """The instrument hardware has faulted and needs repair."""
+
+
+class OutOfSpec(InstrumentError):
+    """A requested operation violates the instrument's operating envelope.
+
+    Raised *by the instrument's own interlocks*.  Note that interlocks are
+    deliberately incomplete (real instruments will happily run many
+    scientifically wrong recipes) — catching the rest is the verification
+    layer's job (E2).
+    """
+
+
+class VendorError(InstrumentError):
+    """A vendor protocol rejected a native command (wrong dialect)."""

@@ -1,0 +1,35 @@
+"""Synthetic ground-truth science.
+
+The paper's laboratories act on the physical world; this package *is* the
+physical world of the reproduction.  Each module defines a deterministic
+response landscape — composition/processing parameters in, material
+properties out — that simulated instruments sample (with their own noise)
+and optimization campaigns explore.
+
+Landscapes mirror the systems the paper cites: Smart Dope's 10^13-condition
+quantum-dot space (:mod:`repro.labsci.quantum_dots`), lead-free perovskite
+nanocrystal synthesis (:mod:`repro.labsci.perovskite`), metallic-glass
+composition screening (:mod:`repro.labsci.metallic_glass`), and electronic
+polymer film processing (:mod:`repro.labsci.polymer`).
+"""
+
+from repro.labsci.landscapes import (ContinuousDim, DiscreteDim, Landscape,
+                                     ParameterSpace, SyntheticLandscape)
+from repro.labsci.metallic_glass import MetallicGlassLandscape
+from repro.labsci.perovskite import PerovskiteLandscape
+from repro.labsci.polymer import PolymerFilmLandscape
+from repro.labsci.quantum_dots import QuantumDotLandscape
+from repro.labsci.sample import Sample
+
+__all__ = [
+    "ContinuousDim",
+    "DiscreteDim",
+    "Landscape",
+    "MetallicGlassLandscape",
+    "ParameterSpace",
+    "PerovskiteLandscape",
+    "PolymerFilmLandscape",
+    "QuantumDotLandscape",
+    "Sample",
+    "SyntheticLandscape",
+]

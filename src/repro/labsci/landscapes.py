@@ -1,0 +1,308 @@
+"""Parameter spaces and the synthetic-landscape machinery.
+
+A :class:`ParameterSpace` mixes continuous dimensions (bounded floats) and
+discrete dimensions (categorical choices) — the "nested
+discrete-continuous" structure the paper highlights for real SDL hardware
+(§3.3, [24]).  A :class:`SyntheticLandscape` places deterministic Gaussian
+response peaks in that space, seeded per instance, yielding smooth
+multi-modal objectives whose global optimum is known to the test harness
+but not to the optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.rng import RngRegistry
+
+
+@dataclass(frozen=True)
+class ContinuousDim:
+    """A bounded continuous parameter, e.g. temperature."""
+
+    name: str
+    low: float
+    high: float
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ValueError(f"{self.name}: low must be < high")
+
+    def clip(self, value: float) -> float:
+        return float(min(max(value, self.low), self.high))
+
+    def contains(self, value: Any) -> bool:
+        return (isinstance(value, (int, float, np.floating, np.integer))
+                and self.low <= float(value) <= self.high)
+
+    def normalize(self, value: float) -> float:
+        """Map to [0, 1]."""
+        return (float(value) - self.low) / (self.high - self.low)
+
+    def denormalize(self, x: float) -> float:
+        return self.low + float(x) * (self.high - self.low)
+
+
+@dataclass(frozen=True)
+class DiscreteDim:
+    """A categorical parameter, e.g. precursor chemistry."""
+
+    name: str
+    choices: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.choices) < 2:
+            raise ValueError(f"{self.name}: need at least 2 choices")
+        if len(set(self.choices)) != len(self.choices):
+            raise ValueError(f"{self.name}: duplicate choices")
+
+    def contains(self, value: Any) -> bool:
+        return value in self.choices
+
+    def index(self, value: str) -> int:
+        return self.choices.index(value)
+
+
+Dim = "ContinuousDim | DiscreteDim"
+
+
+class ParameterSpace:
+    """An ordered mix of continuous and discrete dimensions."""
+
+    def __init__(self, dims: Sequence[Any]) -> None:
+        names = [d.name for d in dims]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate dimension names")
+        self.dims: tuple[Any, ...] = tuple(dims)
+        self.continuous = tuple(d for d in dims if isinstance(d, ContinuousDim))
+        self.discrete = tuple(d for d in dims if isinstance(d, DiscreteDim))
+
+    def __iter__(self):
+        return iter(self.dims)
+
+    def __len__(self) -> int:
+        return len(self.dims)
+
+    def dim(self, name: str) -> Any:
+        for d in self.dims:
+            if d.name == name:
+                return d
+        raise KeyError(name)
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self, params: Mapping[str, Any]) -> None:
+        """Raise ``ValueError`` for missing/extra/out-of-range parameters."""
+        expected = {d.name for d in self.dims}
+        got = set(params)
+        if got != expected:
+            missing, extra = expected - got, got - expected
+            raise ValueError(
+                f"bad parameter set: missing={sorted(missing)} "
+                f"extra={sorted(extra)}")
+        for d in self.dims:
+            if not d.contains(params[d.name]):
+                raise ValueError(
+                    f"{d.name}={params[d.name]!r} outside the valid domain")
+
+    def contains(self, params: Mapping[str, Any]) -> bool:
+        try:
+            self.validate(params)
+            return True
+        except ValueError:
+            return False
+
+    # -- sampling and counting -------------------------------------------------------
+
+    def sample(self, rng: np.random.Generator) -> dict[str, Any]:
+        """Uniform random point in the space."""
+        out: dict[str, Any] = {}
+        for d in self.dims:
+            if isinstance(d, ContinuousDim):
+                out[d.name] = float(rng.uniform(d.low, d.high))
+            else:
+                out[d.name] = str(rng.choice(list(d.choices)))
+        return out
+
+    def n_conditions(self, continuous_resolution: int = 100) -> float:
+        """Size of the condition space at a given continuous resolution.
+
+        This is how "10^13 possible synthesis conditions" style counts are
+        computed for E12.
+        """
+        n = 1.0
+        for d in self.dims:
+            n *= (continuous_resolution if isinstance(d, ContinuousDim)
+                  else len(d.choices))
+        return n
+
+    # -- encoding for surrogate models ------------------------------------------------
+
+    def encode(self, params: Mapping[str, Any]) -> np.ndarray:
+        """Encode to a flat vector: normalized continuous + one-hot discrete."""
+        parts: list[float] = []
+        for d in self.dims:
+            if isinstance(d, ContinuousDim):
+                parts.append(d.normalize(params[d.name]))
+            else:
+                onehot = [0.0] * len(d.choices)
+                onehot[d.index(params[d.name])] = 1.0
+                parts.extend(onehot)
+        return np.asarray(parts, dtype=np.float64)
+
+    @property
+    def encoded_size(self) -> int:
+        return sum(1 if isinstance(d, ContinuousDim) else len(d.choices)
+                   for d in self.dims)
+
+    def continuous_vector(self, params: Mapping[str, Any]) -> np.ndarray:
+        """Just the normalized continuous coordinates (for per-category GPs)."""
+        return np.asarray([d.normalize(params[d.name])
+                           for d in self.continuous])
+
+    def discrete_key(self, params: Mapping[str, Any]) -> tuple[str, ...]:
+        """The tuple of discrete choices (identifies a continuous subspace)."""
+        return tuple(str(params[d.name]) for d in self.discrete)
+
+    def discrete_combinations(self) -> list[tuple[str, ...]]:
+        """All combinations of discrete choices (cartesian product)."""
+        combos: list[tuple[str, ...]] = [()]
+        for d in self.discrete:
+            combos = [c + (choice,) for c in combos for choice in d.choices]
+        return combos
+
+    def with_discrete(self, key: tuple[str, ...],
+                      cont: Mapping[str, float]) -> dict[str, Any]:
+        """Assemble a full parameter dict from a discrete key + continuous part."""
+        out: dict[str, Any] = dict(cont)
+        for d, choice in zip(self.discrete, key):
+            out[d.name] = choice
+        return out
+
+
+class Landscape:
+    """Base class: a deterministic map from parameters to true properties."""
+
+    #: Names of the properties :meth:`evaluate` returns.
+    properties: tuple[str, ...] = ()
+    #: The property campaigns usually optimize, and its direction.
+    objective: str = ""
+    maximize: bool = True
+
+    def __init__(self, space: ParameterSpace) -> None:
+        self.space = space
+
+    def evaluate(self, params: Mapping[str, Any]) -> dict[str, float]:
+        """True (noise-free) properties at ``params``."""
+        raise NotImplementedError
+
+    def objective_value(self, params: Mapping[str, Any]) -> float:
+        """The optimization objective (already sign-adjusted: higher=better)."""
+        value = self.evaluate(params)[self.objective]
+        return value if self.maximize else -value
+
+
+class SyntheticLandscape(Landscape):
+    """Multi-peak Gaussian response surface over a mixed space.
+
+    For each discrete combination the landscape draws its own set of peaks
+    in the continuous subspace, so the choice of chemistry genuinely
+    matters: most combinations are mediocre, a few are good, and exactly
+    one contains the global optimum.  Everything derives from
+    ``(seed, name)`` and is reproducible.
+
+    Parameters
+    ----------
+    space:
+        The parameter space.
+    seed / name:
+        Determinism root.
+    n_peaks:
+        Peaks per discrete combination.
+    output_range:
+        ``(low, high)`` scale of the primary property.
+    """
+
+    properties = ("response",)
+    objective = "response"
+
+    def __init__(self, space: ParameterSpace, seed: int = 0,
+                 name: str = "synthetic", n_peaks: int = 3,
+                 output_range: tuple[float, float] = (0.0, 1.0)) -> None:
+        super().__init__(space)
+        self.seed = seed
+        self.name = name
+        self.n_peaks = n_peaks
+        self.output_range = output_range
+        self._rngs = RngRegistry(seed)
+        self._combo_cache: dict[tuple[str, ...], dict[str, np.ndarray]] = {}
+        self._best: Optional[tuple[float, dict[str, Any]]] = None
+
+    # -- peak placement -----------------------------------------------------------
+
+    def _combo_peaks(self, key: tuple[str, ...]) -> dict[str, np.ndarray]:
+        peaks = self._combo_cache.get(key)
+        if peaks is None:
+            rng = self._rngs.fresh(f"{self.name}/peaks/{'|'.join(key)}")
+            d = len(self.space.continuous)
+            centers = rng.uniform(0.0, 1.0, size=(self.n_peaks, max(d, 1)))
+            widths = rng.uniform(0.08, 0.35, size=self.n_peaks)
+            # Combo quality: heavy-tailed so most combos are poor.
+            quality = float(rng.beta(1.5, 6.0))
+            heights = quality * rng.uniform(0.3, 1.0, size=self.n_peaks)
+            heights[0] = quality  # the dominant peak defines combo quality
+            peaks = {"centers": centers, "widths": widths, "heights": heights}
+            self._combo_cache[key] = peaks
+        return peaks
+
+    def evaluate(self, params: Mapping[str, Any]) -> dict[str, float]:
+        self.space.validate(params)
+        key = self.space.discrete_key(params)
+        peaks = self._combo_peaks(key)
+        x = self.space.continuous_vector(params)
+        if x.size == 0:
+            x = np.zeros(1)
+        dist2 = np.sum((peaks["centers"] - x) ** 2, axis=1)
+        response = float(np.sum(
+            peaks["heights"] * np.exp(-dist2 / (2 * peaks["widths"] ** 2))))
+        lo, hi = self.output_range
+        return {"response": lo + response * (hi - lo)}
+
+    # -- oracle helpers (test/benchmark side only) ------------------------------------
+
+    def best_estimate(self, n_random: int = 20_000,
+                      refine_top: int = 10) -> tuple[float, dict[str, Any]]:
+        """Estimate the global optimum by dense random search + local refine.
+
+        Used by experiments to express regret; cached after the first call.
+        """
+        if self._best is not None:
+            return self._best
+        rng = self._rngs.fresh(f"{self.name}/oracle")
+        best: list[tuple[float, dict[str, Any]]] = []
+        for _ in range(n_random):
+            p = self.space.sample(rng)
+            best.append((self.objective_value(p), p))
+        best.sort(key=lambda t: -t[0])
+        top_value, top_params = best[0]
+        # Local refinement around the best few by coordinate perturbation.
+        for value, params in best[:refine_top]:
+            current_v, current_p = value, dict(params)
+            for scale in (0.05, 0.01, 0.002):
+                for _ in range(60):
+                    cand = dict(current_p)
+                    for dim in self.space.continuous:
+                        span = (dim.high - dim.low) * scale
+                        cand[dim.name] = dim.clip(
+                            cand[dim.name] + rng.normal(0.0, span))
+                    v = self.objective_value(cand)
+                    if v > current_v:
+                        current_v, current_p = v, cand
+            if current_v > top_value:
+                top_value, top_params = current_v, current_p
+        self._best = (top_value, top_params)
+        return self._best

@@ -1,0 +1,58 @@
+"""Acquisition functions for Bayesian optimization (maximization form)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+
+def expected_improvement(mean: np.ndarray, std: np.ndarray, best: float,
+                         xi: float = 0.01) -> np.ndarray:
+    """EI over the incumbent ``best`` with exploration jitter ``xi``."""
+    std = np.maximum(std, 1e-12)
+    z = (mean - best - xi) / std
+    return (mean - best - xi) * norm.cdf(z) + std * norm.pdf(z)
+
+
+def upper_confidence_bound(mean: np.ndarray, std: np.ndarray,
+                           beta: float = 2.0) -> np.ndarray:
+    """GP-UCB: mean + beta * std."""
+    return mean + beta * std
+
+
+def probability_of_improvement(mean: np.ndarray, std: np.ndarray,
+                               best: float, xi: float = 0.01) -> np.ndarray:
+    """P(f(x) > best + xi)."""
+    std = np.maximum(std, 1e-12)
+    return norm.cdf((mean - best - xi) / std)
+
+
+def thompson_sample(gp, X: np.ndarray,
+                    rng: np.random.Generator) -> np.ndarray:
+    """One joint posterior draw over the candidate set."""
+    return gp.sample_posterior(X, rng, n_samples=1)[0]
+
+
+ACQUISITIONS = {
+    "ei": "expected_improvement",
+    "ucb": "upper_confidence_bound",
+    "pi": "probability_of_improvement",
+    "thompson": "thompson_sample",
+}
+
+
+def score_candidates(name: str, gp, X: np.ndarray, best: float,
+                     rng: np.random.Generator, *, xi: float = 0.01,
+                     beta: float = 2.0) -> np.ndarray:
+    """Dispatch an acquisition by name over a candidate matrix."""
+    if name == "thompson":
+        return thompson_sample(gp, X, rng)
+    mean, std = gp.predict(X)
+    if name == "ei":
+        return expected_improvement(mean, std, best, xi=xi)
+    if name == "ucb":
+        return upper_confidence_bound(mean, std, beta=beta)
+    if name == "pi":
+        return probability_of_improvement(mean, std, best, xi=xi)
+    raise ValueError(f"unknown acquisition {name!r}; known: "
+                     f"{sorted(ACQUISITIONS)}")

@@ -1,0 +1,115 @@
+"""Bayesian optimization over mixed parameter spaces.
+
+The workhorse sample-efficient optimizer: a GP surrogate on the space's
+encoded vectors (normalized continuous + one-hot discrete) and an
+acquisition maximized over a random candidate pool.  For spaces with large
+discrete structure, prefer
+:class:`~repro.methods.nested.NestedBayesianOptimizer`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.labsci.landscapes import ParameterSpace
+from repro.methods.acquisition import score_candidates
+from repro.methods.baselines import AskTellOptimizer
+from repro.methods.gp import GaussianProcess
+from repro.methods.kernels import Matern52
+
+
+class BayesianOptimizer(AskTellOptimizer):
+    """GP-based ask/tell optimizer.
+
+    Parameters
+    ----------
+    space:
+        The mixed parameter space.
+    rng:
+        Random stream (candidate pools + Thompson draws).
+    acquisition:
+        "ei" (default), "ucb", "pi", or "thompson".
+    n_init:
+        Random exploration before the surrogate switches on.
+    n_candidates:
+        Candidate pool size per ask.
+    refit_every:
+        Hyperparameter re-fit cadence (grid LML search is not free).
+    """
+
+    def __init__(self, space: ParameterSpace, rng: np.random.Generator, *,
+                 acquisition: str = "ei", n_init: int = 8,
+                 n_candidates: int = 512, noise: float = 0.02,
+                 refit_every: int = 10) -> None:
+        super().__init__(space)
+        self.rng = rng
+        self.acquisition = acquisition
+        self.n_init = n_init
+        self.n_candidates = n_candidates
+        self.refit_every = refit_every
+        self.gp = GaussianProcess(kernel=Matern52(lengthscale=0.3),
+                                  noise=noise)
+        self._since_refit = 0
+        #: Extra observations donated by other sites (transfer learning).
+        self._external: list[tuple[dict[str, Any], float]] = []
+
+    # -- knowledge integration hooks -----------------------------------------------
+
+    def absorb(self, params: Mapping[str, Any], objective: float) -> None:
+        """Add an observation from elsewhere (does not count as ours)."""
+        self._external.append((dict(params), float(objective)))
+
+    def _all_observations(self) -> list[tuple[dict[str, Any], float]]:
+        return self.history + self._external
+
+    # -- ask/tell ----------------------------------------------------------------------
+
+    def ask(self) -> dict[str, Any]:
+        observations = self._all_observations()
+        if len(observations) < self.n_init:
+            return self.space.sample(self.rng)
+        X = np.array([self.space.encode(p) for p, _ in observations])
+        y = np.array([v for _, v in observations])
+        self._since_refit += 1
+        if self._since_refit >= self.refit_every or self.gp.n_observations == 0:
+            self.gp.fit_hyperparameters(X, y)
+            self._since_refit = 0
+        else:
+            self.gp.fit(X, y)
+        candidates = [self.space.sample(self.rng)
+                      for _ in range(self.n_candidates)]
+        # Local exploitation: jitter the incumbent into the pool.
+        if self.best is not None:
+            _, inc = self.best
+            for scale in (0.02, 0.05, 0.1):
+                candidates.extend(self._perturb(inc, scale)
+                                  for _ in range(8))
+        Xc = np.array([self.space.encode(p) for p in candidates])
+        scores = score_candidates(self.acquisition, self.gp, Xc,
+                                  best=float(np.max(y)), rng=self.rng)
+        return candidates[int(np.argmax(scores))]
+
+    def _perturb(self, params: Mapping[str, Any],
+                 scale: float) -> dict[str, Any]:
+        out = dict(params)
+        for d in self.space.continuous:
+            span = (d.high - d.low) * scale
+            out[d.name] = d.clip(float(out[d.name])
+                                 + float(self.rng.normal(0.0, span)))
+        return out
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def posterior_at(self, params: Mapping[str, Any]) -> tuple[float, float]:
+        """Surrogate (mean, std) at a point — used by verification."""
+        observations = self._all_observations()
+        if len(observations) < 2:
+            return 0.0, float("inf")
+        X = np.array([self.space.encode(p) for p, _ in observations])
+        y = np.array([v for _, v in observations])
+        self.gp.fit(X, y)
+        mean, std = self.gp.predict(
+            self.space.encode(dict(params))[None, :])
+        return float(mean[0]), float(std[0])

@@ -1,0 +1,61 @@
+"""Covariance kernels for Gaussian-process regression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _sqdist(a: np.ndarray, b: np.ndarray, lengthscale: float) -> np.ndarray:
+    """Pairwise squared Euclidean distance of scaled inputs.
+
+    Computed via the expansion ||x-y||^2 = ||x||^2 + ||y||^2 - 2 x.y,
+    vectorized over both point sets (guide idiom: no Python loops).
+    """
+    a = np.atleast_2d(a) / lengthscale
+    b = np.atleast_2d(b) / lengthscale
+    aa = np.sum(a * a, axis=1)[:, None]
+    bb = np.sum(b * b, axis=1)[None, :]
+    d2 = aa + bb - 2.0 * (a @ b.T)
+    return np.maximum(d2, 0.0)
+
+
+class RBF:
+    """Squared-exponential kernel: amp^2 * exp(-d^2 / (2 l^2))."""
+
+    def __init__(self, lengthscale: float = 0.2, amplitude: float = 1.0) -> None:
+        if lengthscale <= 0 or amplitude <= 0:
+            raise ValueError("lengthscale and amplitude must be > 0")
+        self.lengthscale = float(lengthscale)
+        self.amplitude = float(amplitude)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        d2 = _sqdist(a, b, self.lengthscale)
+        return self.amplitude ** 2 * np.exp(-0.5 * d2)
+
+    def with_params(self, lengthscale: float, amplitude: float) -> "RBF":
+        return RBF(lengthscale, amplitude)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RBF(l={self.lengthscale:.4g}, a={self.amplitude:.4g})"
+
+
+class Matern52:
+    """Matern-5/2 kernel — rougher sample paths than RBF."""
+
+    def __init__(self, lengthscale: float = 0.2, amplitude: float = 1.0) -> None:
+        if lengthscale <= 0 or amplitude <= 0:
+            raise ValueError("lengthscale and amplitude must be > 0")
+        self.lengthscale = float(lengthscale)
+        self.amplitude = float(amplitude)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        d = np.sqrt(_sqdist(a, b, self.lengthscale))
+        s5d = np.sqrt(5.0) * d
+        return (self.amplitude ** 2
+                * (1.0 + s5d + (5.0 / 3.0) * d * d) * np.exp(-s5d))
+
+    def with_params(self, lengthscale: float, amplitude: float) -> "Matern52":
+        return Matern52(lengthscale, amplitude)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Matern52(l={self.lengthscale:.4g}, a={self.amplitude:.4g})"

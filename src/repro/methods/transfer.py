@@ -1,0 +1,106 @@
+"""Cross-laboratory transfer learning (§3.3, milestone M9 substrate).
+
+"Active transfer learning approaches enabling knowledge sharing between
+laboratories."  The obstacle is the systematic calibration offset between
+sites (modelled in :class:`repro.labsci.perovskite.PerovskiteLandscape`):
+raw foreign observations are biased.  The :class:`TransferAdapter`
+estimates a per-source affine correction from co-observed (or nearby)
+conditions and rescales donations before feeding them to the local
+optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.labsci.landscapes import ParameterSpace
+
+
+class TransferAdapter:
+    """Bias-corrected observation sharing into one site's optimizer.
+
+    Parameters
+    ----------
+    space:
+        Shared parameter space.
+    min_pairs:
+        Paired observations needed before a correction is trusted; below
+        this, donations pass through with a discount weight instead.
+    neighbor_scale:
+        Normalized-distance radius within which two observations count as
+        "the same condition" for offset estimation.
+    """
+
+    def __init__(self, space: ParameterSpace, min_pairs: int = 3,
+                 neighbor_scale: float = 0.15) -> None:
+        self.space = space
+        self.min_pairs = min_pairs
+        self.neighbor_scale = neighbor_scale
+        self._local: list[tuple[np.ndarray, float]] = []
+        self._foreign: dict[str, list[tuple[np.ndarray, float, dict[str, Any]]]] = {}
+        self.stats = {"received": 0, "corrected": 0, "passthrough": 0}
+
+    # -- feeding the adapter ---------------------------------------------------------
+
+    def observe_local(self, params: Mapping[str, Any], value: float) -> None:
+        self._local.append((self.space.encode(params), float(value)))
+
+    def receive(self, source: str, params: Mapping[str, Any],
+                value: float) -> None:
+        """Record a donation from another site (raw, uncorrected)."""
+        self.stats["received"] += 1
+        self._foreign.setdefault(source, []).append(
+            (self.space.encode(params), float(value), dict(params)))
+
+    # -- offset estimation ---------------------------------------------------------------
+
+    def _estimate_offset(self, source: str) -> Optional[float]:
+        """Mean (local - foreign) over near-coincident condition pairs."""
+        donations = self._foreign.get(source, [])
+        if not donations or not self._local:
+            return None
+        deltas = []
+        local_X = np.array([x for x, _ in self._local])
+        local_y = np.array([y for _, y in self._local])
+        for fx, fy, _params in donations:
+            d = np.linalg.norm(local_X - fx[None, :], axis=1)
+            near = d < self.neighbor_scale
+            if np.any(near):
+                deltas.append(float(np.mean(local_y[near])) - fy)
+        if len(deltas) < self.min_pairs:
+            return None
+        return float(np.median(deltas))
+
+    # -- the output: corrected donations ----------------------------------------------------
+
+    def corrected_donations(self, source: str
+                            ) -> list[tuple[dict[str, Any], float]]:
+        """Donations from ``source`` ready for ``optimizer.absorb``.
+
+        With a trusted offset estimate the correction is applied exactly;
+        otherwise values pass through unchanged (the bandit/GP treats
+        them as weak evidence — better than nothing, per M9's goal of
+        reducing required experiments).
+        """
+        donations = self._foreign.get(source, [])
+        offset = self._estimate_offset(source)
+        out = []
+        for _x, value, params in donations:
+            if offset is not None:
+                self.stats["corrected"] += 1
+                out.append((params, value + offset))
+            else:
+                self.stats["passthrough"] += 1
+                out.append((params, value))
+        return out
+
+    def all_corrected(self) -> list[tuple[dict[str, Any], float]]:
+        out = []
+        for source in sorted(self._foreign):
+            out.extend(self.corrected_donations(source))
+        return out
+
+    def offset_estimates(self) -> dict[str, Optional[float]]:
+        return {s: self._estimate_offset(s) for s in sorted(self._foreign)}

@@ -1,0 +1,203 @@
+"""Sites, links, and the institutional network topology.
+
+A :class:`Site` is an administrative domain (a laboratory, user facility,
+or HPC center).  Sites are vertices of a :class:`Topology`; physical WAN
+links carry latency/bandwidth/jitter/loss parameters.  Routing follows the
+latency-shortest path, recomputed against the currently-alive subgraph so
+fault injection transparently reroutes traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class Site:
+    """An administrative/trust domain hosting instruments, agents and data.
+
+    Attributes
+    ----------
+    name:
+        Unique site identifier, e.g. ``"ornl"``.
+    institution:
+        Human-readable institution name.
+    region:
+        Coarse geographic tag used by some latency heuristics.
+    tags:
+        Free-form attributes (e.g. ``{"kind": "user-facility"}``) consulted
+        by ABAC policies and scheduling heuristics.
+    """
+
+    name: str
+    institution: str = ""
+    region: str = ""
+    tags: tuple[tuple[str, Any], ...] = ()
+
+    def tag(self, key: str, default: Any = None) -> Any:
+        """Look up a tag value by key."""
+        for k, v in self.tags:
+            if k == key:
+                return v
+        return default
+
+    @staticmethod
+    def make(name: str, institution: str = "", region: str = "",
+             **tags: Any) -> "Site":
+        """Convenience constructor accepting tags as keyword arguments."""
+        return Site(name=name, institution=institution or name,
+                    region=region, tags=tuple(sorted(tags.items())))
+
+
+@dataclass
+class Link:
+    """A bidirectional WAN link between two sites.
+
+    Attributes
+    ----------
+    latency_s:
+        One-way propagation delay in seconds.
+    bandwidth_Bps:
+        Usable throughput in bytes/second.
+    jitter_s:
+        Standard deviation of a truncated-Gaussian latency perturbation.
+    loss_prob:
+        Per-traversal probability that a transfer is lost.
+    """
+
+    latency_s: float = 0.010
+    bandwidth_Bps: float = 1.25e9  # 10 Gbit/s
+    jitter_s: float = 0.0
+    loss_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
+        if self.bandwidth_Bps <= 0:
+            raise ValueError("bandwidth_Bps must be > 0")
+        if self.jitter_s < 0:
+            raise ValueError("jitter_s must be >= 0")
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise ValueError("loss_prob must be in [0, 1)")
+
+
+#: Link parameters used when two endpoints are co-located at a site
+#: (loopback through the site LAN).
+LOCAL_LINK = Link(latency_s=0.0002, bandwidth_Bps=1.25e10, jitter_s=0.0,
+                  loss_prob=0.0)
+
+
+class Topology:
+    """The graph of sites and WAN links.
+
+    Examples
+    --------
+    >>> topo = Topology()
+    >>> a, b = Site.make("a"), Site.make("b")
+    >>> topo.add_site(a); topo.add_site(b)
+    >>> topo.connect("a", "b", Link(latency_s=0.02))
+    >>> [s.name for s in topo.sites()]
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._sites: dict[str, Site] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_site(self, site: Site) -> Site:
+        if site.name in self._sites:
+            raise ValueError(f"duplicate site {site.name!r}")
+        self._sites[site.name] = site
+        self._graph.add_node(site.name)
+        return site
+
+    def connect(self, a: str, b: str, link: Optional[Link] = None) -> Link:
+        """Add a bidirectional link between sites ``a`` and ``b``."""
+        if a not in self._sites or b not in self._sites:
+            raise KeyError(f"unknown site in ({a!r}, {b!r})")
+        if a == b:
+            raise ValueError("cannot connect a site to itself")
+        link = link or Link()
+        self._graph.add_edge(a, b, link=link, weight=link.latency_s)
+        return link
+
+    # -- queries --------------------------------------------------------------
+
+    def site(self, name: str) -> Site:
+        return self._sites[name]
+
+    def sites(self) -> list[Site]:
+        return [self._sites[n] for n in sorted(self._sites)]
+
+    def has_site(self, name: str) -> bool:
+        return name in self._sites
+
+    def link(self, a: str, b: str) -> Link:
+        return self._graph.edges[a, b]["link"]
+
+    def links(self) -> list[tuple[str, str, Link]]:
+        return [(min(a, b), max(a, b), d["link"])
+                for a, b, d in self._graph.edges(data=True)]
+
+    def neighbors(self, name: str) -> list[str]:
+        return sorted(self._graph.neighbors(name))
+
+    def path(self, src: str, dst: str,
+             blocked: Optional[Iterable[tuple[str, str]]] = None) -> list[str]:
+        """Latency-shortest path from ``src`` to ``dst``.
+
+        ``blocked`` is an iterable of edges to exclude (fault injection).
+        Raises :class:`networkx.NetworkXNoPath` when disconnected.
+        """
+        if src == dst:
+            return [src]
+        graph = self._graph
+        if blocked:
+            graph = graph.copy()
+            for a, b in blocked:
+                if graph.has_edge(a, b):
+                    graph.remove_edge(a, b)
+        return nx.shortest_path(graph, src, dst, weight="weight")
+
+    def path_links(self, path: list[str]) -> list[Link]:
+        """The links along a node path."""
+        return [self._graph.edges[a, b]["link"] for a, b in zip(path, path[1:])]
+
+    # -- canned topologies ------------------------------------------------------
+
+    @staticmethod
+    def national_lab_testbed(n_sites: int = 5, *, latency_s: float = 0.02,
+                             bandwidth_Bps: float = 1.25e9,
+                             jitter_s: float = 0.002,
+                             loss_prob: float = 0.0) -> "Topology":
+        """A ring-plus-chords topology approximating ESnet-style connectivity.
+
+        Sites are named ``site-0 .. site-(n-1)``.  Each site connects to its
+        ring neighbours, and every third pair gets a chord, giving path
+        diversity for failover experiments.
+        """
+        if n_sites < 2:
+            raise ValueError("need at least 2 sites")
+        topo = Topology()
+        for i in range(n_sites):
+            topo.add_site(Site.make(f"site-{i}", institution=f"Lab {i}"))
+        link = dict(latency_s=latency_s, bandwidth_Bps=bandwidth_Bps,
+                    jitter_s=jitter_s, loss_prob=loss_prob)
+        for i in range(n_sites):
+            j = (i + 1) % n_sites
+            if not topo._graph.has_edge(f"site-{i}", f"site-{j}"):
+                topo.connect(f"site-{i}", f"site-{j}", Link(**link))
+        for i in range(0, n_sites - 2, 3):
+            a, b = f"site-{i}", f"site-{i + 2}"
+            if not topo._graph.has_edge(a, b):
+                topo.connect(a, b, Link(**link))
+        return topo
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Topology sites={len(self._sites)} "
+                f"links={self._graph.number_of_edges()}>")

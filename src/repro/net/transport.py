@@ -1,0 +1,150 @@
+"""Point-to-point transfers over the simulated WAN.
+
+:class:`Network` turns "send ``size`` bytes from site A to site B" into a
+simulated delay (propagation + serialization + jitter) or a failure
+(:class:`PacketLost`, :class:`Unreachable`).  Higher layers — the message
+bus and RPC in :mod:`repro.comm` — add reliability semantics on top.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.net.faults import FaultInjector
+from repro.net.topology import LOCAL_LINK, Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.events import Event
+    from repro.sim.kernel import Simulator
+
+
+class NetworkError(Exception):
+    """Base class for transport-level failures."""
+
+
+class PacketLost(NetworkError):
+    """The transfer was dropped by a lossy/degraded link."""
+
+
+class Unreachable(NetworkError):
+    """No alive path exists between the endpoints."""
+
+
+class Network:
+    """The simulated internetwork connecting AISLE sites.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event kernel.
+    topology:
+        Site/link graph.
+    rng:
+        Numpy generator used for jitter and loss draws.
+    faults:
+        Optional :class:`FaultInjector`; when omitted a private, quiet one
+        is created.
+
+    Notes
+    -----
+    Delivery time for an ``n``-hop path of links :math:`l_i` is
+
+    .. math:: \\sum_i \\left( \\text{latency}_i + \\frac{\\text{size}}{\\text{bandwidth}_i}
+              + \\max(0, \\mathcal{N}(0, \\text{jitter}_i)) \\right)
+
+    which captures store-and-forward serialization per hop without
+    modelling queueing contention (adequate for the latency-scale claims
+    in E4/E5; see DESIGN.md).
+    """
+
+    def __init__(self, sim: "Simulator", topology: Topology,
+                 rng: np.random.Generator,
+                 faults: Optional[FaultInjector] = None) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.rng = rng
+        self.faults = faults or FaultInjector(sim)
+        # Counters for the observability layer.
+        self.stats = {
+            "transfers": 0, "bytes": 0.0, "lost": 0, "unreachable": 0,
+            "total_latency": 0.0,
+        }
+
+    # -- path/latency computation -------------------------------------------
+
+    def route(self, src: str, dst: str) -> list[str]:
+        """The node path a transfer would take right now.
+
+        Raises :class:`Unreachable` if faults disconnect the endpoints.
+        """
+        if self.faults.site_down(src) or self.faults.site_down(dst):
+            raise Unreachable(f"endpoint site down ({src} -> {dst})")
+        if self.faults.partitioned(src, dst):
+            raise Unreachable(f"network partition blocks {src} -> {dst}")
+        blocked = self.faults.blocked_edges(self.topology)
+        try:
+            return self.topology.path(src, dst, blocked=blocked)
+        except Exception as exc:
+            raise Unreachable(f"no path {src} -> {dst}: {exc}") from exc
+
+    def sample_delay(self, path: list[str], size_bytes: float) -> float:
+        """Sample the end-to-end delay for a transfer along ``path``."""
+        if len(path) <= 1:
+            link = LOCAL_LINK
+            return link.latency_s + size_bytes / link.bandwidth_Bps
+        total = 0.0
+        for link in self.topology.path_links(path):
+            total += link.latency_s + size_bytes / link.bandwidth_Bps
+            if link.jitter_s > 0:
+                total += max(0.0, float(self.rng.normal(0.0, link.jitter_s)))
+        return total
+
+    def _lost(self, path: list[str]) -> bool:
+        if len(path) <= 1:
+            return False
+        for (a, b), link in zip(zip(path, path[1:]),
+                                self.topology.path_links(path)):
+            p = link.loss_prob + self.faults.extra_loss(a, b)
+            if p > 0 and self.rng.random() < p:
+                return True
+        return False
+
+    # -- transfer API -------------------------------------------------------------
+
+    def send(self, src: str, dst: str, size_bytes: float = 1024.0) -> "Event":
+        """Start a transfer; the returned event fires on delivery.
+
+        On success the event value is the measured delivery latency.  On
+        loss/unreachability the event fails with a :class:`NetworkError`
+        (after the time the failure took to manifest).
+        """
+        ev = self.sim.event()
+        self.stats["transfers"] += 1
+        self.stats["bytes"] += size_bytes
+        try:
+            path = self.route(src, dst)
+        except Unreachable as exc:
+            self.stats["unreachable"] += 1
+            # Unreachability is detected after a connect-timeout-ish delay.
+            ev.fail(exc, delay=0.001)
+            return ev
+        delay = self.sample_delay(path, size_bytes)
+        if self._lost(path):
+            self.stats["lost"] += 1
+            ev.fail(PacketLost(f"{src} -> {dst} transfer dropped"), delay=delay)
+            return ev
+        self.stats["total_latency"] += delay
+        ev.succeed(delay, delay=delay)
+        return ev
+
+    def transfer(self, src: str, dst: str, size_bytes: float = 1024.0):
+        """Generator helper: ``latency = yield from net.transfer(...)``."""
+        latency = yield self.send(src, dst, size_bytes)
+        return latency
+
+    def mean_latency(self) -> float:
+        """Average measured delivery latency over successful transfers."""
+        n = self.stats["transfers"] - self.stats["lost"] - self.stats["unreachable"]
+        return self.stats["total_latency"] / n if n else 0.0

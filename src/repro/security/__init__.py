@@ -1,0 +1,36 @@
+"""Zero-trust security for multi-institutional collaboration (§3.4).
+
+Implements the security stack the paper's research priorities name:
+federated identity management (:mod:`repro.security.identity`), short-lived
+signed credentials (:mod:`repro.security.tokens`), attribute-based access
+control (:mod:`repro.security.abac`), continuous per-message authentication
+(:mod:`repro.security.zerotrust`), and an append-only audit trail
+(:mod:`repro.security.audit`).
+
+Cryptography is simulated with keyed BLAKE2 MACs — real enough to catch
+forged/expired/tampered credentials inside the simulation, while the
+*behavioural* properties the milestones quantify (latency cost of
+continuous authentication, policy decisions, revocation) are modelled
+faithfully.
+"""
+
+from repro.security.abac import Decision, Policy, PolicyEngine, Rule
+from repro.security.audit import AuditLog
+from repro.security.identity import FederatedIdentityProvider, Identity, TrustFabric
+from repro.security.tokens import Token, TokenError
+from repro.security.zerotrust import SecurityError, ZeroTrustGateway
+
+__all__ = [
+    "AuditLog",
+    "Decision",
+    "FederatedIdentityProvider",
+    "Identity",
+    "Policy",
+    "PolicyEngine",
+    "Rule",
+    "SecurityError",
+    "Token",
+    "TokenError",
+    "TrustFabric",
+    "ZeroTrustGateway",
+]

@@ -1,0 +1,179 @@
+"""Attribute-based access control (ABAC).
+
+Policies are ordered rule lists evaluated against (subject attributes,
+action, resource attributes, environment).  First matching rule wins;
+default deny.  Institutions keep their own policies ("maintaining
+institutional autonomy", §3.1 research priorities) and the
+:class:`PolicyEngine` composes them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class Decision(enum.Enum):
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+#: A predicate over the full request context.
+Condition = Callable[[dict[str, Any], str, dict[str, Any], dict[str, Any]], bool]
+
+
+@dataclass
+class Rule:
+    """One ABAC rule.
+
+    Attributes
+    ----------
+    effect:
+        :class:`Decision` applied when the rule matches.
+    actions:
+        Action patterns: exact, ``"*"``, or prefix ``"ns:*"``.
+    subject_match / resource_match:
+        Required attribute values (all must be present and equal).
+    condition:
+        Optional arbitrary predicate over
+        ``(subject_attrs, action, resource_attrs, environment)``.
+    description:
+        Human-readable reason recorded in audit entries.
+    """
+
+    effect: Decision
+    actions: tuple[str, ...] = ("*",)
+    subject_match: dict[str, Any] = field(default_factory=dict)
+    resource_match: dict[str, Any] = field(default_factory=dict)
+    condition: Optional[Condition] = None
+    description: str = ""
+
+    def _action_matches(self, action: str) -> bool:
+        for pat in self.actions:
+            if pat == "*" or pat == action:
+                return True
+            if pat.endswith(":*") and action.startswith(pat[:-1]):
+                return True
+        return False
+
+    def matches(self, subject: dict[str, Any], action: str,
+                resource: dict[str, Any], environment: dict[str, Any]) -> bool:
+        if not self._action_matches(action):
+            return False
+        for k, v in self.subject_match.items():
+            if subject.get(k) != v:
+                return False
+        for k, v in self.resource_match.items():
+            if resource.get(k) != v:
+                return False
+        if self.condition is not None:
+            return bool(self.condition(subject, action, resource, environment))
+        return True
+
+
+@dataclass
+class Policy:
+    """An ordered rule list owned by one institution (or the federation)."""
+
+    name: str
+    rules: list[Rule] = field(default_factory=list)
+
+    def add(self, rule: Rule) -> "Policy":
+        self.rules.append(rule)
+        return self
+
+    def evaluate(self, subject: dict[str, Any], action: str,
+                 resource: dict[str, Any],
+                 environment: Optional[dict[str, Any]] = None
+                 ) -> Optional[tuple[Decision, Rule]]:
+        """First matching rule's decision, or ``None`` if nothing matched."""
+        env = environment or {}
+        for rule in self.rules:
+            if rule.matches(subject, action, resource, env):
+                return rule.effect, rule
+        return None
+
+
+class PolicyEngine:
+    """Combines a federation-wide policy with per-institution policies.
+
+    Evaluation order: the *resource-owning* institution's policy first,
+    then the federation policy; default **deny**.  A DENY anywhere is
+    final (deny-overrides within each policy via rule order).
+    """
+
+    def __init__(self, federation_policy: Optional[Policy] = None) -> None:
+        self.federation_policy = federation_policy or Policy("federation")
+        self._institution_policies: dict[str, Policy] = {}
+        self.stats = {"evaluations": 0, "allows": 0, "denies": 0}
+
+    def set_policy(self, institution: str, policy: Policy) -> None:
+        self._institution_policies[institution] = policy
+
+    def policy_for(self, institution: str) -> Optional[Policy]:
+        return self._institution_policies.get(institution)
+
+    def decide(self, subject: dict[str, Any], action: str,
+               resource: dict[str, Any],
+               environment: Optional[dict[str, Any]] = None
+               ) -> tuple[Decision, str]:
+        """Return ``(decision, reason)`` for a request."""
+        self.stats["evaluations"] += 1
+        owner = resource.get("institution")
+        for policy in filter(None, [
+                self._institution_policies.get(owner) if owner else None,
+                self.federation_policy]):
+            verdict = policy.evaluate(subject, action, resource, environment)
+            if verdict is not None:
+                decision, rule = verdict
+                self.stats["allows" if decision is Decision.ALLOW
+                           else "denies"] += 1
+                reason = rule.description or f"{policy.name}:{rule.effect.value}"
+                return decision, reason
+        self.stats["denies"] += 1
+        return Decision.DENY, "default-deny"
+
+
+def allow_all_within_federation() -> Policy:
+    """A permissive federation baseline: any authenticated member may act."""
+    return Policy("federation-open").add(Rule(
+        effect=Decision.ALLOW,
+        description="open federation: any authenticated principal"))
+
+
+def standard_lab_policy(institution: str) -> Policy:
+    """A representative institutional policy used by tests and examples.
+
+    - Local principals may do anything to local resources.
+    - Federated agents may operate instruments and read data.
+    - Only principals with ``role=operator`` (any institution) may invoke
+      safety-critical actions (``instrument:override`` etc.).
+    - Export of records tagged ``restricted`` is denied to outsiders.
+    """
+    return Policy(f"{institution}-standard").add(Rule(
+        effect=Decision.DENY,
+        actions=("data:export",),
+        resource_match={"sensitivity": "restricted"},
+        condition=lambda s, a, r, e: s.get("institution") != institution,
+        description="restricted data never leaves the institution",
+    )).add(Rule(
+        effect=Decision.ALLOW,
+        actions=("instrument:override", "instrument:estop"),
+        subject_match={"role": "operator"},
+        description="human operators may override (M4 safeguard)",
+    )).add(Rule(
+        effect=Decision.DENY,
+        actions=("instrument:override", "instrument:estop"),
+        description="non-operators may not override",
+    )).add(Rule(
+        effect=Decision.ALLOW,
+        subject_match={"institution": institution},
+        description="local principals have full local access",
+    )).add(Rule(
+        effect=Decision.ALLOW,
+        actions=("instrument:*", "data:read", "data:discover", "rpc:*",
+                 "publish", "consume"),
+        subject_match={"role": "agent"},
+        description="federated agents may operate instruments and read data",
+    ))

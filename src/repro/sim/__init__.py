@@ -1,0 +1,41 @@
+"""Deterministic discrete-event simulation kernel.
+
+A compact, dependency-free engine in the spirit of SimPy: generator-based
+processes scheduled on a binary-heap event queue with a simulated clock.
+All higher layers (network, agents, instruments, data fabric) are built on
+these primitives, which keeps every AISLE experiment reproducible
+event-for-event from a single seed.
+
+Public surface:
+
+- :class:`~repro.sim.kernel.Simulator` — the event loop and clock.
+- :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout`,
+  :class:`~repro.sim.events.AllOf`, :class:`~repro.sim.events.AnyOf`.
+- :class:`~repro.sim.process.Process`, :class:`~repro.sim.process.Interrupt`.
+- :class:`~repro.sim.resources.Resource`, :class:`~repro.sim.resources.Store`,
+  :class:`~repro.sim.resources.FilterStore`,
+  :class:`~repro.sim.resources.PriorityStore`.
+- :class:`~repro.sim.rng.RngRegistry` — named deterministic random streams.
+"""
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.kernel import Simulator, StopSimulation
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import FilterStore, PriorityStore, Resource, Store
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Simulator",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+]

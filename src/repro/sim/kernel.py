@@ -1,0 +1,177 @@
+"""The discrete-event simulation loop.
+
+The :class:`Simulator` owns the simulated clock and a binary heap of
+scheduled events.  Ties at the same timestamp break deterministically on a
+monotonically increasing sequence number, so two runs with the same seed
+are identical event-for-event (a requirement stated in DESIGN.md for every
+AISLE experiment).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` early."""
+
+    @classmethod
+    def callback(cls, event: Event) -> None:
+        if event.ok:
+            raise cls(event.value)
+        raise event.value
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+_INFINITY = float("inf")
+
+
+class Simulator:
+    """Discrete-event simulator with a floating-point clock.
+
+    Parameters
+    ----------
+    start:
+        Initial simulation time (default 0.0).  Units are abstract; AISLE
+        layers interpret them as **seconds** throughout.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> def proc(sim):
+    ...     yield sim.timeout(5.0)
+    ...     return "done"
+    >>> p = sim.process(proc(sim))
+    >>> sim.run()
+    >>> sim.now, p.value
+    (5.0, 'done')
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Spawn ``generator`` as a new simulation process."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Event that succeeds when all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that succeeds when any of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def schedule_callback(
+        self, delay: float, fn: Callable[[], Any], value: Any = None
+    ) -> Event:
+        """Run ``fn`` after ``delay`` time units; returns the trigger event."""
+        ev = Event(self)
+        ev.callbacks.append(lambda _ev: fn())
+        ev._ok = True
+        ev._value = value
+        self._schedule(ev, delay)
+        return ev
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else _INFINITY
+
+    def step(self) -> None:
+        """Process exactly one event from the queue."""
+        try:
+            self._now, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it instead of losing it.
+            exc = event._value
+            raise exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until no events remain.
+            ``float`` — run until the clock reaches that time.
+            :class:`Event` — run until that event is processed and return
+            its value (raising its exception if it failed).
+        """
+        stop_at = _INFINITY
+        if until is not None:
+            if isinstance(until, Event):
+                if until.callbacks is None:
+                    # Already processed: nothing to do.
+                    if until.ok:
+                        return until.value
+                    raise until.value
+                until.callbacks.append(StopSimulation.callback)
+            else:
+                stop_at = float(until)
+                if stop_at < self._now:
+                    raise ValueError(
+                        f"until={stop_at} is in the past (now={self._now})")
+
+        try:
+            while self._queue and self._queue[0][0] <= stop_at:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0] if stop.args else None
+        if stop_at is not _INFINITY:
+            # Advance the clock to the deadline even if the queue drained
+            # earlier, so back-to-back run(until=...) calls compose.
+            self._now = max(self._now, stop_at)
+        if isinstance(until, Event) and not until.triggered:
+            raise RuntimeError("simulation ended before the awaited event fired")
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self._now:.6g} pending={len(self._queue)}>"

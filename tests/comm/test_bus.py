@@ -1,0 +1,214 @@
+"""Tests for the AMQP-style message bus."""
+
+import pytest
+
+from repro.comm import Message, MessageBus, Performative
+from repro.comm.bus import BrokerDown, topic_matches
+
+
+# -- topic matching ------------------------------------------------------------
+
+@pytest.mark.parametrize("pattern,topic,expected", [
+    ("a.b.c", "a.b.c", True),
+    ("a.b.c", "a.b.d", False),
+    ("a.*.c", "a.b.c", True),
+    ("a.*.c", "a.b.b.c", False),
+    ("a.#", "a", True),
+    ("a.#", "a.b.c.d", True),
+    ("#", "anything.at.all", True),
+    ("#.end", "a.b.end", True),
+    ("#.end", "end", True),
+    ("a.*", "a", False),
+    ("*.b", "a.b", True),
+    ("a.#.z", "a.z", True),
+    ("a.#.z", "a.b.c.z", True),
+    ("a.#.z", "a.b.c", False),
+])
+def test_topic_matches(pattern, topic, expected):
+    assert topic_matches(pattern, topic) is expected
+
+
+# -- pub/sub flow ------------------------------------------------------------------
+
+def make_bus(sim, network):
+    bus = MessageBus(sim, network)
+    broker = bus.add_broker("main", site="a")
+    return bus, broker
+
+
+def test_publish_routes_to_bound_queue(sim, network):
+    bus, broker = make_bus(sim, network)
+    broker.declare_queue("xrd-data")
+    broker.bind("xrd-data", "lab.*.xrd")
+    routed = {}
+
+    def publisher(sim, bus):
+        msg = Message(Performative.INFORM, "xrd-1", "lab.a.xrd",
+                      payload={"scan": 1})
+        routed["n"] = yield from bus.publish("main", "b", "lab.a.xrd", msg)
+
+    sim.process(publisher(sim, bus))
+    sim.run()
+    assert routed["n"] == 1
+    assert len(broker.queues["xrd-data"]) == 1
+
+
+def test_fanout_to_multiple_queues(sim, network):
+    bus, broker = make_bus(sim, network)
+    for q, pattern in [("q1", "lab.#"), ("q2", "lab.a.*"), ("q3", "other.#")]:
+        broker.declare_queue(q)
+        broker.bind(q, pattern)
+
+    def publisher(sim, bus):
+        msg = Message(Performative.INFORM, "s", "t")
+        n = yield from bus.publish("main", "a", "lab.a.xrd", msg)
+        assert n == 2  # q1 and q2, not q3
+
+    sim.process(publisher(sim, bus))
+    sim.run()
+    assert broker.stats["routed"] == 2
+
+
+def test_unroutable_message_counted(sim, network):
+    bus, broker = make_bus(sim, network)
+
+    def publisher(sim, bus):
+        msg = Message(Performative.INFORM, "s", "t")
+        n = yield from bus.publish("main", "a", "nowhere.topic", msg)
+        assert n == 0
+
+    sim.process(publisher(sim, bus))
+    sim.run()
+    assert broker.stats["unroutable"] == 1
+
+
+def test_consume_delivers_and_ack(sim, network):
+    bus, broker = make_bus(sim, network)
+    queue = broker.declare_queue("q")
+    broker.bind("q", "t.#")
+    got = []
+
+    def publisher(sim, bus):
+        msg = Message(Performative.INFORM, "p", "t.x", payload="payload-1")
+        yield from bus.publish("main", "b", "t.x", msg)
+
+    def consumer(sim, bus):
+        env = yield from bus.consume("main", "q", consumer_site="b")
+        got.append(env.message.payload)
+        queue.ack(env)
+
+    sim.process(publisher(sim, bus))
+    sim.process(consumer(sim, bus))
+    sim.run()
+    assert got == ["payload-1"]
+    assert queue.unacked_count == 0
+    assert queue.stats["acked"] == 1
+
+
+def test_nack_redelivers_with_attempt_bump(sim, network):
+    bus, broker = make_bus(sim, network)
+    queue = broker.declare_queue("q")
+    broker.bind("q", "t")
+    attempts = []
+
+    def publisher(sim, bus):
+        msg = Message(Performative.INFORM, "p", "t")
+        yield from bus.publish("main", "b", "t", msg)
+
+    def consumer(sim, bus):
+        env = yield from bus.consume("main", "q", consumer_site="b")
+        attempts.append(env.attempt)
+        queue.nack(env)  # simulated processing failure
+        env2 = yield from bus.consume("main", "q", consumer_site="b")
+        attempts.append(env2.attempt)
+        queue.ack(env2)
+
+    sim.process(publisher(sim, bus))
+    sim.process(consumer(sim, bus))
+    sim.run()
+    assert attempts == [1, 2]
+
+
+def test_nack_dead_letters_after_max_attempts(sim, network):
+    bus, broker = make_bus(sim, network)
+    queue = broker.declare_queue("q", max_attempts=2)
+    broker.bind("q", "t")
+
+    def publisher(sim, bus):
+        yield from bus.publish("main", "b", "t",
+                               Message(Performative.INFORM, "p", "t"))
+
+    def consumer(sim, bus):
+        for _ in range(2):
+            env = yield from bus.consume("main", "q", consumer_site="b")
+            queue.nack(env)
+
+    sim.process(publisher(sim, bus))
+    sim.process(consumer(sim, bus))
+    sim.run()
+    assert len(queue.dead_letters) == 1
+    assert queue.stats["dead"] == 1
+    assert len(queue) == 0
+
+
+def test_publish_to_dead_broker_raises(sim, network):
+    bus, broker = make_bus(sim, network)
+    broker.kill()
+
+    def publisher(sim, bus):
+        with pytest.raises(BrokerDown):
+            yield from bus.publish("main", "b", "t",
+                                   Message(Performative.INFORM, "p", "t"))
+
+    sim.process(publisher(sim, bus))
+    sim.run()
+
+
+def test_broker_revive_restores_service(sim, network):
+    bus, broker = make_bus(sim, network)
+    broker.declare_queue("q")
+    broker.bind("q", "t")
+    broker.kill()
+    broker.revive()
+
+    def publisher(sim, bus):
+        n = yield from bus.publish("main", "b", "t",
+                                   Message(Performative.INFORM, "p", "t"))
+        assert n == 1
+
+    sim.process(publisher(sim, bus))
+    sim.run()
+
+
+def test_consumer_blocks_until_message_arrives(sim, network):
+    bus, broker = make_bus(sim, network)
+    queue = broker.declare_queue("q")
+    broker.bind("q", "t")
+    times = {}
+
+    def consumer(sim, bus):
+        env = yield from bus.consume("main", "q", consumer_site="b")
+        times["got"] = sim.now
+        queue.ack(env)
+
+    def late_publisher(sim, bus):
+        yield sim.timeout(5.0)
+        yield from bus.publish("main", "b", "t",
+                               Message(Performative.INFORM, "p", "t"))
+
+    sim.process(consumer(sim, bus))
+    sim.process(late_publisher(sim, bus))
+    sim.run()
+    assert times["got"] > 5.0
+
+
+def test_duplicate_broker_rejected(sim, network):
+    bus, _ = make_bus(sim, network)
+    with pytest.raises(ValueError):
+        bus.add_broker("main", site="b")
+
+
+def test_bind_unknown_queue_rejected(sim, network):
+    _, broker = make_bus(sim, network)
+    with pytest.raises(KeyError):
+        broker.bind("ghost", "t")

@@ -1,0 +1,112 @@
+"""Tests for heartbeat-driven failover."""
+
+import pytest
+
+from repro.comm import FailoverGroup, RpcClient, RpcServer
+from repro.comm.failover import NoHealthyReplica
+
+
+@pytest.fixture
+def group(sim, testbed_network):
+    replicas = []
+    for i in range(3):
+        srv = RpcServer(sim, f"broker-{i}", site=f"site-{i + 1}")
+        srv.register("echo", lambda p: p)
+        FailoverGroup.install_health_endpoint(srv)
+        replicas.append(srv)
+    return FailoverGroup(sim, replicas, heartbeat_interval_s=0.1,
+                         heartbeat_misses=2)
+
+
+@pytest.fixture
+def client(sim, testbed_network):
+    return RpcClient(sim, testbed_network, site="site-0")
+
+
+def test_empty_group_rejected(sim):
+    with pytest.raises(ValueError):
+        FailoverGroup(sim, [])
+
+
+def test_primary_is_first_replica(group):
+    assert group.primary.name == "broker-0"
+
+
+def test_monitor_promotes_on_primary_death(sim, group, client):
+    group.start_monitor(client)
+
+    def killer():
+        yield sim.timeout(1.0)
+        group.primary.kill()
+
+    sim.process(killer())
+    sim.run(until=3.0)
+    assert group.primary.name == "broker-1"
+    assert any(kind == "promote" for _, kind, _ in group.events)
+
+
+def test_recovery_time_sub_second(sim, group, client):
+    group.start_monitor(client)
+
+    def killer():
+        yield sim.timeout(1.0)
+        group.primary.kill()
+
+    sim.process(killer())
+    sim.run(until=5.0)
+    rt = group.recovery_time()
+    assert rt is not None
+    # M11: automatic failover well under a second with 100 ms heartbeats.
+    assert rt < 1.0
+
+
+def test_call_through_group_transparent_failover(sim, group, client):
+    group.replicas[0].kill()
+    out = {}
+
+    def proc():
+        out["r"] = yield from group.call(client, "echo", "hello",
+                                         deadline_s=0.5)
+
+    sim.process(proc())
+    sim.run()
+    assert out["r"] == "hello"
+    assert any(kind == "client-failover" for _, kind, _ in group.events)
+
+
+def test_all_replicas_down_raises(sim, group, client):
+    for r in group.replicas:
+        r.kill()
+
+    def proc():
+        with pytest.raises(NoHealthyReplica):
+            yield from group.call(client, "echo", "x", deadline_s=0.2)
+
+    sim.process(proc())
+    sim.run()
+
+
+def test_promote_skips_dead_standby(sim, group, client):
+    group.replicas[1].kill()
+    group.replicas[0].kill()
+    promoted = group.promote_next()
+    assert promoted.name == "broker-2"
+
+
+def test_monitor_stops_when_everything_down(sim, group, client):
+    group.start_monitor(client)
+
+    def killer():
+        yield sim.timeout(0.5)
+        for r in group.replicas:
+            r.kill()
+
+    sim.process(killer())
+    sim.run(until=10.0)
+    assert any(kind == "all-down" for _, kind, _ in group.events)
+
+
+def test_healthy_replicas_listing(group):
+    group.replicas[1].kill()
+    names = [r.name for r in group.healthy_replicas()]
+    assert names == ["broker-0", "broker-2"]

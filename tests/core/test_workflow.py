@@ -1,0 +1,149 @@
+"""Tests for the workflow DAG executor."""
+
+import pytest
+
+from repro.core import WorkflowDAG
+from repro.core.workflow import WorkflowError
+
+
+def make_step(sim, duration, value=None, fail=False):
+    def factory(results):
+        def gen():
+            yield sim.timeout(duration)
+            if fail:
+                raise RuntimeError("step exploded")
+            return value
+        return gen()
+    return factory
+
+
+def test_linear_workflow_runs_in_order(sim):
+    wf = WorkflowDAG(sim, "linear")
+    wf.add("a", make_step(sim, 10.0, "A"))
+    wf.add("b", make_step(sim, 5.0, "B"), deps=("a",))
+    wf.add("c", make_step(sim, 1.0, "C"), deps=("b",))
+    out = {}
+
+    def proc():
+        out["r"] = yield from wf.run()
+
+    sim.process(proc())
+    sim.run()
+    assert out["r"] == {"a": "A", "b": "B", "c": "C"}
+    assert sim.now == pytest.approx(16.0)
+    assert wf.critical_path() == ["a", "b", "c"]
+
+
+def test_independent_steps_run_in_parallel(sim):
+    wf = WorkflowDAG(sim)
+    wf.add("a", make_step(sim, 10.0))
+    wf.add("b", make_step(sim, 10.0))
+    wf.add("join", make_step(sim, 1.0), deps=("a", "b"))
+
+    def proc():
+        yield from wf.run()
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == pytest.approx(11.0)  # not 21: a and b overlapped
+
+
+def test_step_receives_upstream_results(sim):
+    wf = WorkflowDAG(sim)
+    wf.add("synth", make_step(sim, 1.0, {"sample": 42}))
+
+    def analyze_factory(results):
+        def gen():
+            yield sim.timeout(1.0)
+            return results["synth"]["sample"] * 2
+        return gen()
+
+    wf.add("analyze", analyze_factory, deps=("synth",))
+    out = {}
+
+    def proc():
+        out["r"] = yield from wf.run()
+
+    sim.process(proc())
+    sim.run()
+    assert out["r"]["analyze"] == 84
+
+
+def test_required_failure_aborts(sim):
+    wf = WorkflowDAG(sim)
+    wf.add("bad", make_step(sim, 1.0, fail=True))
+    wf.add("after", make_step(sim, 1.0), deps=("bad",))
+
+    def proc():
+        with pytest.raises(WorkflowError, match="bad"):
+            yield from wf.run()
+
+    sim.process(proc())
+    sim.run()
+    assert "bad" in wf.failures
+
+
+def test_optional_failure_skips_downstream(sim):
+    wf = WorkflowDAG(sim)
+    wf.add("main", make_step(sim, 1.0, "ok"))
+    wf.add("extra", make_step(sim, 1.0, fail=True), optional=True)
+    wf.add("uses-extra", make_step(sim, 1.0), deps=("extra",))
+    out = {}
+
+    def proc():
+        out["r"] = yield from wf.run()
+
+    sim.process(proc())
+    sim.run()
+    assert out["r"] == {"main": "ok"}
+    assert wf.failures["uses-extra"] == "upstream failure"
+
+
+def test_retries_recover_flaky_step(sim):
+    attempts = []
+
+    def flaky_factory(results):
+        def gen():
+            yield sim.timeout(1.0)
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RuntimeError("flake")
+            return "finally"
+        return gen()
+
+    wf = WorkflowDAG(sim)
+    wf.add("flaky", flaky_factory, retries=3)
+    out = {}
+
+    def proc():
+        out["r"] = yield from wf.run()
+
+    sim.process(proc())
+    sim.run()
+    assert out["r"]["flaky"] == "finally"
+    assert len(attempts) == 3
+
+
+def test_duplicate_and_unknown_dep_rejected(sim):
+    wf = WorkflowDAG(sim)
+    wf.add("a", make_step(sim, 1.0))
+    with pytest.raises(WorkflowError, match="duplicate"):
+        wf.add("a", make_step(sim, 1.0))
+    with pytest.raises(WorkflowError, match="unknown"):
+        wf.add("b", make_step(sim, 1.0), deps=("ghost",))
+
+
+def test_diamond_dependency(sim):
+    wf = WorkflowDAG(sim)
+    wf.add("src", make_step(sim, 1.0, 1))
+    wf.add("left", make_step(sim, 5.0, 2), deps=("src",))
+    wf.add("right", make_step(sim, 3.0, 3), deps=("src",))
+    wf.add("sink", make_step(sim, 1.0, 4), deps=("left", "right"))
+
+    def proc():
+        yield from wf.run()
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == pytest.approx(7.0)  # 1 + max(5,3) + 1
+    assert wf.critical_path() == ["src", "left", "sink"]

@@ -1,0 +1,97 @@
+"""Tests for the PROV-O-style provenance graph."""
+
+import pytest
+
+from repro.data import ProvenanceGraph
+
+
+@pytest.fixture
+def campaign_graph():
+    """A small realistic lineage: plan -> synthesize -> measure -> record."""
+    g = ProvenanceGraph()
+    g.agent("planner-agent", kind="llm-planner")
+    g.agent("robot-1", kind="synthesis-robot")
+    g.agent("spec-1", kind="spectrometer")
+    g.activity("plan-1", started=0.0, ended=1.0)
+    g.was_associated_with("plan-1", "planner-agent")
+    g.entity("recipe-1")
+    g.was_generated_by("recipe-1", "plan-1")
+    g.activity("synth-1", started=1.0, ended=100.0)
+    g.was_associated_with("synth-1", "robot-1")
+    g.used("synth-1", "recipe-1")
+    g.was_informed_by("synth-1", "plan-1")
+    g.entity("sample-1")
+    g.was_generated_by("sample-1", "synth-1")
+    g.activity("meas-1", started=100.0, ended=145.0)
+    g.was_associated_with("meas-1", "spec-1")
+    g.used("meas-1", "sample-1")
+    g.entity("rec-1")
+    g.was_generated_by("rec-1", "meas-1")
+    g.was_derived_from("rec-1", "sample-1")
+    return g
+
+
+def test_node_types(campaign_graph):
+    assert campaign_graph.node_type("planner-agent") == "agent"
+    assert campaign_graph.node_type("synth-1") == "activity"
+    assert campaign_graph.node_type("rec-1") == "entity"
+    assert len(campaign_graph) == 9
+
+
+def test_type_conflict_rejected(campaign_graph):
+    with pytest.raises(ValueError):
+        campaign_graph.entity("planner-agent")
+
+
+def test_relation_requires_known_nodes(campaign_graph):
+    with pytest.raises(KeyError):
+        campaign_graph.used("synth-1", "ghost")
+
+
+def test_lineage_reaches_back_to_plan(campaign_graph):
+    lineage = campaign_graph.lineage("rec-1")
+    for ancestor in ("meas-1", "sample-1", "synth-1", "recipe-1", "plan-1",
+                     "planner-agent", "robot-1", "spec-1"):
+        assert ancestor in lineage
+
+
+def test_responsible_agents(campaign_graph):
+    agents = campaign_graph.responsible_agents("rec-1")
+    assert set(agents) == {"planner-agent", "robot-1", "spec-1"}
+
+
+def test_generating_activity(campaign_graph):
+    assert campaign_graph.generating_activity("rec-1") == "meas-1"
+    assert campaign_graph.generating_activity("sample-1") == "synth-1"
+
+
+def test_derived_products(campaign_graph):
+    assert "rec-1" in campaign_graph.derived_products("sample-1")
+
+
+def test_completeness_full(campaign_graph):
+    assert campaign_graph.completeness("rec-1") == 1.0
+
+
+def test_completeness_partial():
+    g = ProvenanceGraph()
+    g.entity("orphan")
+    assert g.completeness("orphan") == 0.0
+    g.activity("act", ended=0.0)  # no end time, no agent, no inputs
+    g.entity("rec")
+    g.was_generated_by("rec", "act")
+    assert g.completeness("rec") == 0.25
+
+
+def test_completeness_unknown_entity():
+    assert ProvenanceGraph().completeness("ghost") == 0.0
+
+
+def test_export_to_dict(campaign_graph):
+    d = campaign_graph.to_dict()
+    assert len(d["nodes"]) == 9
+    kinds = {e["kind"] for e in d["edges"]}
+    assert "wasGeneratedBy" in kinds
+    assert "used" in kinds
+    ids = [n["id"] for n in d["nodes"]]
+    assert ids == sorted(ids)  # deterministic export order

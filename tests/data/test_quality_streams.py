@@ -1,0 +1,164 @@
+"""Tests for quality assessment and the stream processor."""
+
+import numpy as np
+import pytest
+
+from repro.data import (AnomalyDetector, DataRecord, FieldSpec,
+                        QualityAssessor, Schema, StreamProcessor)
+
+
+def rec(plqy, source="spec-1", **kw):
+    return DataRecord(source=source, values={"plqy": plqy}, **kw)
+
+
+# -- anomaly detector ------------------------------------------------------------
+
+def test_detector_needs_history():
+    det = AnomalyDetector(min_history=8)
+    assert det.observe("k", 1.0) is None  # not enough history yet
+
+
+def test_detector_flags_outlier():
+    det = AnomalyDetector(min_history=8, z_threshold=4.0)
+    rng = np.random.default_rng(0)
+    for _ in range(30):
+        det.observe("k", float(rng.normal(0.5, 0.01)))
+    z = det.observe("k", 5.0)
+    assert det.is_anomalous(z)
+    # ... and the outlier did not poison the baseline:
+    z2 = det.observe("k", 0.5)
+    assert not det.is_anomalous(z2)
+
+
+def test_detector_accepts_routine_values():
+    det = AnomalyDetector(min_history=8)
+    rng = np.random.default_rng(1)
+    zs = [det.observe("k", float(rng.normal(0.5, 0.01))) for _ in range(50)]
+    flagged = [z for z in zs if det.is_anomalous(z)]
+    assert len(flagged) <= 2
+
+
+def test_detector_per_key_isolation():
+    det = AnomalyDetector(min_history=4)
+    for i in range(10):
+        det.observe("a", 1.0)
+        det.observe("b", 100.0)
+    assert not det.is_anomalous(det.observe("a", 1.0))
+    assert not det.is_anomalous(det.observe("b", 100.0))
+
+
+# -- quality assessor ----------------------------------------------------------------
+
+@pytest.fixture
+def assessor():
+    schema = Schema("pl", 1, (FieldSpec("plqy", lo=0.0, hi=1.0),))
+    return QualityAssessor(schema=schema,
+                           detector=AnomalyDetector(min_history=8))
+
+
+def test_clean_record_scores_one(assessor):
+    report = assessor.assess(rec(0.5))
+    assert report.score == 1.0
+    assert not report.flags
+
+
+def test_schema_violation_penalized(assessor):
+    report = assessor.assess(rec(1.8))
+    assert report.score < 1.0
+    assert any("schema" in f for f in report.flags)
+
+
+def test_non_finite_value_penalized(assessor):
+    report = assessor.assess(rec(float("nan")))
+    assert report.score < 1.0
+    assert any("non-finite" in f for f in report.flags)
+
+
+def test_outlier_detected_and_stamped(assessor):
+    rng = np.random.default_rng(0)
+    for _ in range(30):
+        assessor.assess(rec(float(rng.normal(0.5, 0.005))))
+    record = rec(0.95)
+    report = assessor.assess(record)
+    assert report.anomalous
+    assert record.quality["anomalous"]
+    assert assessor.stats["anomalies"] == 1
+
+
+def test_instrument_state_discounts(assessor):
+    r1 = assessor.assess(rec(0.5), instrument_state={"status": "fault"})
+    assert r1.score <= 0.5
+    r2 = assessor.assess(rec(0.5),
+                         instrument_state={"calibration_bias": 0.4})
+    assert any("drifted" in f for f in r2.flags)
+
+
+# -- stream processor ------------------------------------------------------------------
+
+def make_stream(sim, keep_every=5, **kw):
+    assessor = QualityAssessor(detector=AnomalyDetector(min_history=8))
+    alerts = []
+    sp = StreamProcessor(sim, assessor, keep_every=keep_every,
+                         per_record_s=0.001,
+                         on_alert=lambda r, rep: alerts.append(r.record_id),
+                         **kw)
+    return sp, alerts
+
+
+def test_stream_reduces_routine_traffic(sim):
+    sp, alerts = make_stream(sim, keep_every=5)
+    sp.start()
+    rng = np.random.default_rng(0)
+    for _ in range(100):
+        sp.submit(rec(float(rng.normal(0.5, 0.005))))
+    sim.run()
+    assert sp.stats["processed"] == 100
+    assert sp.stats["retained"] == pytest.approx(20, abs=3)
+    assert 0.7 < sp.reduction_ratio() < 0.9
+    assert not alerts
+
+
+def test_stream_always_keeps_anomalies(sim):
+    sp, alerts = make_stream(sim, keep_every=1000)
+    sp.start()
+    rng = np.random.default_rng(0)
+    for i in range(60):
+        sp.submit(rec(float(rng.normal(0.5, 0.005))))
+    sp.submit(rec(42.0))  # scream-level outlier
+    sim.run()
+    assert len(alerts) == 1
+    retained_ids = {r.record_id for r in sp.retained}
+    assert alerts[0] in retained_ids
+
+
+def test_stream_backlog_tracked(sim):
+    sp, _ = make_stream(sim)
+    sp.start()
+    for _ in range(50):
+        sp.submit(rec(0.5))
+    assert sp.backlog > 0  # nothing drained yet (no sim time elapsed)
+    sim.run()
+    assert sp.backlog == 0
+    assert sp.stats["max_backlog"] == 50
+
+
+def test_stream_throughput_reflects_cost(sim):
+    sp, _ = make_stream(sim)
+    sp.start()
+    for _ in range(100):
+        sp.submit(rec(0.5))
+    sim.run()
+    assert sp.throughput() == pytest.approx(1000.0, rel=0.05)  # 1/0.001s
+
+
+def test_stream_keep_every_validation(sim):
+    from repro.data import QualityAssessor
+    with pytest.raises(ValueError):
+        StreamProcessor(sim, QualityAssessor(), keep_every=0)
+
+
+def test_stream_double_start_rejected(sim):
+    sp, _ = make_stream(sim)
+    sp.start()
+    with pytest.raises(RuntimeError):
+        sp.start()

@@ -1,0 +1,179 @@
+"""Tests for schemas, evolution, negotiation, and unit conversion."""
+
+import pytest
+
+from repro.data import FieldSpec, Schema, SchemaNegotiator, SchemaRegistry
+from repro.data.schema import SchemaError, convert_unit
+
+
+@pytest.fixture
+def pl_schema():
+    return Schema(name="pl-spectrum", version=1, fields=(
+        FieldSpec("plqy", unit="fraction", lo=0.0, hi=1.0),
+        FieldSpec("emission_nm", unit="nm", lo=200.0, hi=2000.0,
+                  aliases=("wavelength", "peak_nm")),
+        FieldSpec("temperature", unit="C", required=False),
+    ))
+
+
+# -- unit conversion ---------------------------------------------------------
+
+@pytest.mark.parametrize("value,frm,to,expected", [
+    (373.15, "K", "C", 100.0),
+    (212.0, "F", "C", 100.0),
+    (2.0, "min", "s", 120.0),
+    (1.0, "hr", "s", 3600.0),
+    (500.0, "uL", "mL", 0.5),
+    (50.0, "percent", "fraction", 0.5),
+    (5.0, "C", "C", 5.0),
+])
+def test_convert_unit(value, frm, to, expected):
+    assert convert_unit(value, frm, to) == pytest.approx(expected)
+
+
+def test_convert_unit_reverse_direction():
+    assert convert_unit(100.0, "C", "K") == pytest.approx(373.15)
+    assert convert_unit(120.0, "s", "min") == pytest.approx(2.0)
+
+
+def test_convert_unknown_unit_raises():
+    with pytest.raises(SchemaError):
+        convert_unit(1.0, "furlong", "m")
+
+
+# -- validation ------------------------------------------------------------------
+
+def test_schema_validate_ok(pl_schema):
+    assert pl_schema.is_valid({"plqy": 0.5, "emission_nm": 520.0})
+
+
+def test_schema_validate_missing_required(pl_schema):
+    problems = pl_schema.validate({"plqy": 0.5})
+    assert any("emission_nm" in p for p in problems)
+
+
+def test_schema_validate_range(pl_schema):
+    problems = pl_schema.validate({"plqy": 1.7, "emission_nm": 520.0})
+    assert any("plqy" in p for p in problems)
+
+
+def test_schema_validate_non_numeric(pl_schema):
+    problems = pl_schema.validate({"plqy": "high", "emission_nm": 520.0})
+    assert any("not numeric" in p for p in problems)
+
+
+def test_optional_field_not_required(pl_schema):
+    assert pl_schema.is_valid({"plqy": 0.1, "emission_nm": 400.0})
+
+
+# -- evolution --------------------------------------------------------------------
+
+def test_evolve_bumps_version(pl_schema):
+    v2 = pl_schema.evolve(add=(FieldSpec("fwhm_nm", unit="nm",
+                                         required=False),))
+    assert v2.version == 2
+    assert v2.schema_id == "pl-spectrum@2"
+    assert v2.field("fwhm_nm") is not None
+    assert pl_schema.version == 1  # original untouched
+
+
+def test_evolve_drop_field(pl_schema):
+    v2 = pl_schema.evolve(drop=("temperature",))
+    assert v2.field("temperature") is None
+
+
+def test_evolve_duplicate_rejected(pl_schema):
+    with pytest.raises(SchemaError):
+        pl_schema.evolve(add=(FieldSpec("plqy"),))
+
+
+def test_compatibility(pl_schema):
+    v2 = pl_schema.evolve(add=(FieldSpec("fwhm_nm", required=False),))
+    assert v2.compatible_with(pl_schema)  # new optional field: compatible
+    v3 = pl_schema.evolve(add=(FieldSpec("fwhm_nm", required=True),))
+    assert not v3.compatible_with(pl_schema)
+
+
+# -- registry ---------------------------------------------------------------------------
+
+def test_registry_versions(pl_schema):
+    reg = SchemaRegistry()
+    reg.register(pl_schema)
+    v2 = pl_schema.evolve(add=(FieldSpec("x", required=False),))
+    reg.register(v2)
+    assert reg.latest("pl-spectrum").version == 2
+    assert reg.get("pl-spectrum@1") is pl_schema
+    assert "pl-spectrum@1" in reg
+    assert len(reg) == 2
+
+
+def test_registry_duplicate_rejected(pl_schema):
+    reg = SchemaRegistry()
+    reg.register(pl_schema)
+    with pytest.raises(SchemaError):
+        reg.register(pl_schema)
+
+
+def test_registry_unknown(pl_schema):
+    with pytest.raises(SchemaError):
+        SchemaRegistry().get("ghost@1")
+
+
+# -- negotiation ------------------------------------------------------------------------------
+
+def test_negotiate_exact_match(pl_schema):
+    neg = SchemaNegotiator()
+    mappings = neg.negotiate({"plqy": "fraction", "emission_nm": "nm"},
+                             pl_schema)
+    out = neg.apply(mappings, {"plqy": 0.4, "emission_nm": 520.0})
+    assert out == {"plqy": 0.4, "emission_nm": 520.0}
+
+
+def test_negotiate_alias(pl_schema):
+    neg = SchemaNegotiator()
+    mappings = neg.negotiate({"plqy": "fraction", "wavelength": "nm"},
+                             pl_schema)
+    out = neg.apply(mappings, {"plqy": 0.4, "wavelength": 530.0})
+    assert out["emission_nm"] == 530.0
+
+
+def test_negotiate_alias_with_unit_conversion(pl_schema):
+    neg = SchemaNegotiator()
+    mappings = neg.negotiate({"plqy": "percent", "peak_nm": "A"}, pl_schema)
+    out = neg.apply(mappings, {"plqy": 40.0, "peak_nm": 5200.0})
+    assert out["plqy"] == pytest.approx(0.4)
+    assert out["emission_nm"] == pytest.approx(520.0)
+
+
+def test_negotiate_unit_suffix_heuristic(pl_schema):
+    # Producer exports temperature_K; the consumer wants temperature in C.
+    neg = SchemaNegotiator()
+    mappings = neg.negotiate(
+        {"plqy": "fraction", "emission_nm": "nm", "temperature_K": ""},
+        pl_schema)
+    out = neg.apply(mappings, {"plqy": 0.1, "emission_nm": 500.0,
+                               "temperature_K": 373.15})
+    assert out["temperature"] == pytest.approx(100.0)
+
+
+def test_negotiate_default_for_missing_optional(pl_schema):
+    neg = SchemaNegotiator()
+    mappings = neg.negotiate({"plqy": "fraction", "emission_nm": "nm"},
+                             pl_schema, defaults={"temperature": 25.0})
+    out = neg.apply(mappings, {"plqy": 0.1, "emission_nm": 500.0})
+    assert out["temperature"] == 25.0
+
+
+def test_negotiate_required_unmappable_fails(pl_schema):
+    neg = SchemaNegotiator()
+    with pytest.raises(SchemaError, match="plqy"):
+        neg.negotiate({"intensity": "counts"}, pl_schema)
+    assert neg.stats["failures"] == 1
+
+
+def test_negotiate_missing_optional_skipped(pl_schema):
+    neg = SchemaNegotiator()
+    mappings = neg.negotiate({"plqy": "fraction", "emission_nm": "nm"},
+                             pl_schema)
+    fields = {m.consumer_field for m in mappings}
+    assert "temperature" not in fields

@@ -1,0 +1,169 @@
+"""Tests for parameter spaces and synthetic landscapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labsci import (ContinuousDim, DiscreteDim, ParameterSpace,
+                          SyntheticLandscape)
+
+
+@pytest.fixture
+def space():
+    return ParameterSpace([
+        DiscreteDim("chem", ("a", "b", "c")),
+        ContinuousDim("temp", 0.0, 100.0),
+        ContinuousDim("time", 1.0, 10.0),
+    ])
+
+
+def test_dim_validation():
+    with pytest.raises(ValueError):
+        ContinuousDim("x", 5.0, 5.0)
+    with pytest.raises(ValueError):
+        DiscreteDim("x", ("only",))
+    with pytest.raises(ValueError):
+        DiscreteDim("x", ("a", "a"))
+
+
+def test_space_rejects_duplicate_names():
+    with pytest.raises(ValueError):
+        ParameterSpace([ContinuousDim("x", 0, 1), ContinuousDim("x", 0, 2)])
+
+
+def test_validate_complete_params(space):
+    space.validate({"chem": "a", "temp": 50.0, "time": 5.0})
+    with pytest.raises(ValueError, match="missing"):
+        space.validate({"chem": "a", "temp": 50.0})
+    with pytest.raises(ValueError, match="extra"):
+        space.validate({"chem": "a", "temp": 50.0, "time": 5.0, "x": 1})
+    with pytest.raises(ValueError, match="domain"):
+        space.validate({"chem": "a", "temp": 500.0, "time": 5.0})
+    with pytest.raises(ValueError, match="domain"):
+        space.validate({"chem": "zzz", "temp": 50.0, "time": 5.0})
+
+
+def test_sample_always_valid(space):
+    rng = np.random.default_rng(0)
+    for _ in range(100):
+        assert space.contains(space.sample(rng))
+
+
+def test_n_conditions(space):
+    # 3 discrete choices * 100^2 continuous grid
+    assert space.n_conditions(100) == 3 * 100 * 100
+
+
+def test_encode_shape_and_range(space):
+    p = {"chem": "b", "temp": 25.0, "time": 1.0}
+    v = space.encode(p)
+    assert v.shape == (space.encoded_size,)
+    assert space.encoded_size == 3 + 2
+    assert np.all(v >= 0.0) and np.all(v <= 1.0)
+    # one-hot for chem=b
+    assert list(v[1:4]) == [0.0, 1.0, 0.0] or list(v[:3]) == [0.0, 1.0, 0.0]
+
+
+def test_discrete_key_and_with_discrete(space):
+    p = {"chem": "c", "temp": 10.0, "time": 2.0}
+    key = space.discrete_key(p)
+    assert key == ("c",)
+    rebuilt = space.with_discrete(key, {"temp": 10.0, "time": 2.0})
+    assert rebuilt == p
+
+
+def test_discrete_combinations(space):
+    assert space.discrete_combinations() == [("a",), ("b",), ("c",)]
+    two = ParameterSpace([DiscreteDim("x", ("1", "2")),
+                          DiscreteDim("y", ("p", "q"))])
+    assert len(two.discrete_combinations()) == 4
+
+
+def test_normalize_denormalize_roundtrip():
+    d = ContinuousDim("t", -10.0, 30.0)
+    assert d.denormalize(d.normalize(17.0)) == pytest.approx(17.0)
+    assert d.normalize(-10.0) == 0.0
+    assert d.normalize(30.0) == 1.0
+
+
+# -- SyntheticLandscape ----------------------------------------------------------
+
+@pytest.fixture
+def landscape(space):
+    return SyntheticLandscape(space, seed=7, n_peaks=3)
+
+
+def test_landscape_deterministic(space):
+    l1 = SyntheticLandscape(space, seed=7)
+    l2 = SyntheticLandscape(space, seed=7)
+    p = {"chem": "a", "temp": 42.0, "time": 3.3}
+    assert l1.evaluate(p) == l2.evaluate(p)
+
+
+def test_landscape_seed_changes_surface(space):
+    p = {"chem": "a", "temp": 42.0, "time": 3.3}
+    r1 = SyntheticLandscape(space, seed=1).evaluate(p)["response"]
+    r2 = SyntheticLandscape(space, seed=2).evaluate(p)["response"]
+    assert r1 != r2
+
+
+def test_landscape_output_in_range(landscape, space):
+    rng = np.random.default_rng(3)
+    for _ in range(200):
+        r = landscape.evaluate(space.sample(rng))["response"]
+        assert 0.0 <= r <= 1.0 + 1e9 * 0  # peaks can stack slightly above 1
+        assert r >= 0.0
+
+
+def test_landscape_smooth_locally(landscape):
+    p1 = {"chem": "a", "temp": 50.0, "time": 5.0}
+    p2 = {"chem": "a", "temp": 50.01, "time": 5.0}
+    r1 = landscape.evaluate(p1)["response"]
+    r2 = landscape.evaluate(p2)["response"]
+    assert abs(r1 - r2) < 0.01
+
+
+def test_landscape_discrete_choice_matters(landscape):
+    p = {"temp": 50.0, "time": 5.0}
+    values = {c: landscape.evaluate({**p, "chem": c})["response"]
+              for c in ("a", "b", "c")}
+    assert len(set(values.values())) == 3
+
+
+def test_landscape_validates_params(landscape):
+    with pytest.raises(ValueError):
+        landscape.evaluate({"chem": "a", "temp": -5.0, "time": 5.0})
+
+
+def test_best_estimate_finds_good_point(landscape):
+    best_value, best_params = landscape.best_estimate(n_random=3000,
+                                                      refine_top=3)
+    assert landscape.space.contains(best_params)
+    # The oracle must beat a modest random search.
+    rng = np.random.default_rng(0)
+    random_best = max(landscape.objective_value(landscape.space.sample(rng))
+                      for _ in range(200))
+    assert best_value >= random_best
+
+
+def test_best_estimate_cached(landscape):
+    a = landscape.best_estimate(n_random=500, refine_top=2)
+    b = landscape.best_estimate(n_random=999999)  # would be slow if not cached
+    assert a == b
+
+
+@given(st.floats(min_value=0.0, max_value=100.0),
+       st.floats(min_value=1.0, max_value=10.0),
+       st.sampled_from(["a", "b", "c"]))
+@settings(max_examples=50, deadline=None)
+def test_property_landscape_total_function(temp, time, chem):
+    space = ParameterSpace([
+        DiscreteDim("chem", ("a", "b", "c")),
+        ContinuousDim("temp", 0.0, 100.0),
+        ContinuousDim("time", 1.0, 10.0),
+    ])
+    land = SyntheticLandscape(space, seed=11)
+    r = land.evaluate({"chem": chem, "temp": temp, "time": time})["response"]
+    assert np.isfinite(r)
+    assert r >= 0.0

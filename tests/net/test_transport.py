@@ -1,0 +1,198 @@
+"""Tests for the Network transfer model."""
+
+import pytest
+
+from repro.net import (FaultInjector, Link, Network, PacketLost, Site,
+                       Topology, Unreachable)
+from repro.sim import RngRegistry, Simulator
+
+
+def make_net(loss=0.0, jitter=0.0, latency=0.01, bandwidth=1e9, seed=1):
+    sim = Simulator()
+    topo = Topology()
+    topo.add_site(Site.make("a"))
+    topo.add_site(Site.make("b"))
+    topo.connect("a", "b", Link(latency_s=latency, bandwidth_Bps=bandwidth,
+                                jitter_s=jitter, loss_prob=loss))
+    faults = FaultInjector(sim)
+    net = Network(sim, topo, RngRegistry(seed).stream("net"), faults)
+    return sim, net, faults
+
+
+def run_transfer(sim, net, src="a", dst="b", size=1000.0):
+    result = {}
+
+    def proc(sim, net):
+        latency = yield from net.transfer(src, dst, size)
+        result["latency"] = latency
+        result["arrived_at"] = sim.now
+
+    p = sim.process(proc(sim, net))
+    sim.run()
+    return result, p
+
+
+def test_delivery_time_latency_plus_serialization():
+    sim, net, _ = make_net(latency=0.01, bandwidth=1e6)
+    result, _ = run_transfer(sim, net, size=1000.0)
+    # 10 ms propagation + 1000/1e6 s serialization = 11 ms
+    assert result["arrived_at"] == pytest.approx(0.011)
+    assert result["latency"] == pytest.approx(0.011)
+
+
+def test_local_delivery_is_fast():
+    sim, net, _ = make_net()
+    result, _ = run_transfer(sim, net, src="a", dst="a", size=100.0)
+    assert result["arrived_at"] < 0.001
+
+
+def test_jitter_perturbs_latency():
+    sim, net, _ = make_net(jitter=0.005)
+    result, _ = run_transfer(sim, net)
+    assert result["arrived_at"] >= 0.01  # jitter is only ever additive
+
+
+def test_loss_fails_transfer():
+    sim, net, _ = make_net(loss=0.999999)
+
+    def proc(sim, net):
+        with pytest.raises(PacketLost):
+            yield from net.transfer("a", "b", 100.0)
+
+    sim.process(proc(sim, net))
+    sim.run()
+    assert net.stats["lost"] == 1
+
+
+def test_link_fault_makes_unreachable():
+    sim, net, faults = make_net()
+    faults.fail_link("a", "b")
+
+    def proc(sim, net):
+        with pytest.raises(Unreachable):
+            yield from net.transfer("a", "b", 100.0)
+
+    sim.process(proc(sim, net))
+    sim.run()
+    assert net.stats["unreachable"] == 1
+
+
+def test_link_fault_heals_after_duration():
+    sim, net, faults = make_net()
+    faults.fail_link("a", "b", duration=5.0)
+    outcomes = []
+
+    def proc(sim, net):
+        try:
+            yield from net.transfer("a", "b", 100.0)
+            outcomes.append("early-ok")
+        except Unreachable:
+            outcomes.append("early-fail")
+        yield sim.timeout(10.0)
+        yield from net.transfer("a", "b", 100.0)
+        outcomes.append("late-ok")
+
+    sim.process(proc(sim, net))
+    sim.run()
+    assert outcomes == ["early-fail", "late-ok"]
+
+
+def test_site_fault_blocks_endpoint():
+    sim, net, faults = make_net()
+    faults.fail_site("b")
+
+    def proc(sim, net):
+        with pytest.raises(Unreachable):
+            yield from net.transfer("a", "b", 100.0)
+
+    sim.process(proc(sim, net))
+    sim.run()
+
+
+def test_partition_blocks_cross_group_traffic():
+    sim = Simulator()
+    topo = Topology.national_lab_testbed(4, jitter_s=0.0)
+    faults = FaultInjector(sim)
+    net = Network(sim, topo, RngRegistry(2).stream("net"), faults)
+    faults.partition(["site-0", "site-1"], ["site-2", "site-3"])
+    results = []
+
+    def proc(sim, net):
+        # within-group traffic still works
+        yield from net.transfer("site-0", "site-1", 10.0)
+        results.append("intra-ok")
+        try:
+            yield from net.transfer("site-0", "site-2", 10.0)
+        except Unreachable:
+            results.append("inter-blocked")
+
+    sim.process(proc(sim, net))
+    sim.run()
+    assert results == ["intra-ok", "inter-blocked"]
+
+
+def test_reroute_around_failed_link():
+    sim = Simulator()
+    topo = Topology()
+    for n in "abc":
+        topo.add_site(Site.make(n))
+    topo.connect("a", "b", Link(latency_s=0.01, jitter_s=0.0))
+    topo.connect("a", "c", Link(latency_s=0.05, jitter_s=0.0))
+    topo.connect("c", "b", Link(latency_s=0.05, jitter_s=0.0))
+    faults = FaultInjector(sim)
+    net = Network(sim, topo, RngRegistry(3).stream("net"), faults)
+    faults.fail_link("a", "b")
+    result = {}
+
+    def proc(sim, net):
+        yield from net.transfer("a", "b", 0.0)
+        result["t"] = sim.now
+
+    sim.process(proc(sim, net))
+    sim.run()
+    assert result["t"] == pytest.approx(0.10)  # took the a-c-b detour
+
+
+def test_degraded_link_extra_loss():
+    sim, net, faults = make_net(loss=0.0)
+    faults.degrade_link("a", "b", extra_loss=1.0)
+
+    def proc(sim, net):
+        with pytest.raises(PacketLost):
+            yield from net.transfer("a", "b", 10.0)
+
+    sim.process(proc(sim, net))
+    sim.run()
+
+
+def test_degradation_expires():
+    sim, net, faults = make_net(loss=0.0)
+    faults.degrade_link("a", "b", extra_loss=1.0, duration=1.0)
+
+    def proc(sim, net):
+        yield sim.timeout(2.0)
+        yield from net.transfer("a", "b", 10.0)  # must succeed
+
+    sim.process(proc(sim, net))
+    sim.run()
+
+
+def test_stats_accumulate():
+    sim, net, _ = make_net()
+
+    def proc(sim, net):
+        for _ in range(5):
+            yield from net.transfer("a", "b", 100.0)
+
+    sim.process(proc(sim, net))
+    sim.run()
+    assert net.stats["transfers"] == 5
+    assert net.stats["bytes"] == 500.0
+    assert net.mean_latency() > 0
+
+
+def test_fault_injector_any_active(sim):
+    faults = FaultInjector(sim)
+    assert not faults.any_active()
+    faults.fail_link("a", "b", duration=1.0)
+    assert faults.any_active()

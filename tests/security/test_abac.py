@@ -1,0 +1,121 @@
+"""Tests for attribute-based access control."""
+
+import pytest
+
+from repro.security import Decision, Policy, PolicyEngine, Rule
+from repro.security.abac import (allow_all_within_federation,
+                                 standard_lab_policy)
+
+
+def test_rule_action_patterns():
+    rule = Rule(effect=Decision.ALLOW, actions=("data:*", "rpc:run"))
+    assert rule.matches({}, "data:read", {}, {})
+    assert rule.matches({}, "rpc:run", {}, {})
+    assert not rule.matches({}, "rpc:stop", {}, {})
+
+
+def test_rule_subject_and_resource_match():
+    rule = Rule(effect=Decision.ALLOW,
+                subject_match={"role": "agent"},
+                resource_match={"kind": "instrument"})
+    assert rule.matches({"role": "agent"}, "x", {"kind": "instrument"}, {})
+    assert not rule.matches({"role": "human"}, "x", {"kind": "instrument"}, {})
+    assert not rule.matches({"role": "agent"}, "x", {"kind": "dataset"}, {})
+
+
+def test_rule_condition_predicate():
+    rule = Rule(effect=Decision.ALLOW,
+                condition=lambda s, a, r, e: e.get("time", 0) < 100)
+    assert rule.matches({}, "x", {}, {"time": 50})
+    assert not rule.matches({}, "x", {}, {"time": 150})
+
+
+def test_policy_first_match_wins():
+    policy = Policy("p").add(
+        Rule(effect=Decision.DENY, actions=("danger",))
+    ).add(
+        Rule(effect=Decision.ALLOW)
+    )
+    assert policy.evaluate({}, "danger", {})[0] is Decision.DENY
+    assert policy.evaluate({}, "safe", {})[0] is Decision.ALLOW
+
+
+def test_policy_no_match_returns_none():
+    policy = Policy("p").add(Rule(effect=Decision.ALLOW, actions=("only",)))
+    assert policy.evaluate({}, "other", {}) is None
+
+
+def test_engine_default_deny():
+    engine = PolicyEngine(Policy("empty"))
+    decision, reason = engine.decide({}, "anything", {})
+    assert decision is Decision.DENY
+    assert reason == "default-deny"
+
+
+def test_engine_institution_policy_precedes_federation():
+    engine = PolicyEngine(allow_all_within_federation())
+    engine.set_policy("ornl", Policy("ornl").add(
+        Rule(effect=Decision.DENY, actions=("data:export",),
+             description="ornl blocks exports")))
+    decision, reason = engine.decide(
+        {"institution": "anl"}, "data:export", {"institution": "ornl"})
+    assert decision is Decision.DENY
+    assert "ornl" in reason
+    # other actions fall through to the permissive federation policy
+    decision, _ = engine.decide(
+        {"institution": "anl"}, "data:read", {"institution": "ornl"})
+    assert decision is Decision.ALLOW
+
+
+def test_engine_stats():
+    engine = PolicyEngine(allow_all_within_federation())
+    engine.decide({}, "x", {})
+    engine.decide({}, "y", {})
+    assert engine.stats["evaluations"] == 2
+    assert engine.stats["allows"] == 2
+
+
+# -- the representative lab policy ---------------------------------------------
+
+@pytest.fixture
+def engine():
+    eng = PolicyEngine(allow_all_within_federation())
+    eng.set_policy("ornl", standard_lab_policy("ornl"))
+    return eng
+
+
+def test_lab_policy_local_full_access(engine):
+    d, _ = engine.decide({"institution": "ornl"}, "data:export",
+                         {"institution": "ornl", "sensitivity": "restricted"})
+    assert d is Decision.ALLOW
+
+
+def test_lab_policy_blocks_restricted_export_by_outsiders(engine):
+    d, reason = engine.decide(
+        {"institution": "anl", "role": "agent"}, "data:export",
+        {"institution": "ornl", "sensitivity": "restricted"})
+    assert d is Decision.DENY
+    assert "restricted" in reason
+
+
+def test_lab_policy_federated_agent_can_run_instruments(engine):
+    d, _ = engine.decide({"institution": "anl", "role": "agent"},
+                         "instrument:acquire", {"institution": "ornl"})
+    assert d is Decision.ALLOW
+
+
+def test_lab_policy_only_operators_override(engine):
+    d, _ = engine.decide({"institution": "anl", "role": "agent"},
+                         "instrument:override", {"institution": "ornl"})
+    assert d is Decision.DENY
+    d, _ = engine.decide({"institution": "anl", "role": "operator"},
+                         "instrument:override", {"institution": "ornl"})
+    assert d is Decision.ALLOW
+
+
+def test_lab_policy_unknown_role_outsider_falls_to_federation(engine):
+    # Not an agent, not local: institution policy has no match, the open
+    # federation policy allows.
+    d, _ = engine.decide({"institution": "anl", "role": "student"},
+                         "data:read", {"institution": "ornl"})
+    assert d is Decision.ALLOW

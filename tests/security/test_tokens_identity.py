@@ -1,0 +1,145 @@
+"""Tests for tokens, identity providers, and the trust fabric."""
+
+import pytest
+
+from repro.security import FederatedIdentityProvider, Identity, TrustFabric
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def idp(sim):
+    idp = FederatedIdentityProvider(sim, "ornl", default_ttl_s=100.0)
+    idp.enroll(Identity.make("agent-1@ornl", "ornl", role="agent"))
+    return idp
+
+
+def test_issue_and_validate(sim, idp):
+    tok = idp.issue("agent-1@ornl")
+    assert idp.validate(tok)
+    assert tok.subject == "agent-1@ornl"
+    assert tok.attr("role") == "agent"
+
+
+def test_enroll_wrong_institution_rejected(sim, idp):
+    with pytest.raises(ValueError):
+        idp.enroll(Identity.make("spy@anl", "anl"))
+
+
+def test_issue_unknown_subject_rejected(sim, idp):
+    with pytest.raises(KeyError):
+        idp.issue("ghost@ornl")
+
+
+def test_token_expires(sim, idp):
+    tok = idp.issue("agent-1@ornl", ttl_s=10.0)
+    assert idp.validate(tok)
+    sim.run(until=20.0)
+    assert not idp.validate(tok)
+    assert tok.expired(sim.now)
+
+
+def test_tampered_token_fails_verification(sim, idp):
+    tok = idp.issue("agent-1@ornl")
+    forged = tok.tampered_with(subject="admin@ornl")
+    assert not idp.validate(forged)
+    extended = tok.tampered_with(expires_at=tok.expires_at + 1e6)
+    assert not idp.validate(extended)
+
+
+def test_foreign_idp_cannot_validate(sim, idp):
+    other = FederatedIdentityProvider(sim, "anl")
+    tok = idp.issue("agent-1@ornl")
+    assert not other.validate(tok)
+
+
+def test_revoke_token(sim, idp):
+    tok = idp.issue("agent-1@ornl")
+    idp.revoke(tok)
+    assert not idp.validate(tok)
+    # a freshly issued token still works
+    assert idp.validate(idp.issue("agent-1@ornl"))
+
+
+def test_revoke_subject(sim, idp):
+    tok = idp.issue("agent-1@ornl")
+    idp.revoke_subject("agent-1@ornl")
+    assert not idp.validate(tok)
+    with pytest.raises(KeyError):
+        idp.issue("agent-1@ornl")
+
+
+def test_token_scopes():
+    from repro.security.tokens import Token
+    tok = Token.mint(b"k", "s", "i", ("data:*", "rpc:run"), {}, 0.0, 10.0)
+    assert tok.permits("data:read")
+    assert tok.permits("rpc:run")
+    assert not tok.permits("rpc:stop")
+    wild = Token.mint(b"k", "s", "i", ("*",), {}, 0.0, 10.0)
+    assert wild.permits("anything")
+
+
+def test_identity_attr_access():
+    ident = Identity.make("x@y", "y", role="operator", clearance=3)
+    assert ident.attr("role") == "operator"
+    assert ident.attr("clearance") == 3
+    assert ident.attr("nope") is None
+
+
+# -- trust fabric ------------------------------------------------------------------
+
+def make_fabric(sim):
+    fabric = TrustFabric()
+    for inst in ("ornl", "anl", "slac"):
+        idp = FederatedIdentityProvider(sim, inst)
+        idp.enroll(Identity.make(f"agent@{inst}", inst, role="agent"))
+        fabric.add_provider(idp)
+    return fabric
+
+
+def test_self_trust_is_automatic(sim):
+    fabric = make_fabric(sim)
+    tok = fabric.provider("ornl").issue("agent@ornl")
+    assert fabric.validate_at("ornl", tok)
+
+
+def test_cross_institution_requires_explicit_trust(sim):
+    fabric = make_fabric(sim)
+    tok = fabric.provider("ornl").issue("agent@ornl")
+    assert not fabric.validate_at("anl", tok)
+    fabric.trust("anl", "ornl")
+    assert fabric.validate_at("anl", tok)
+    # trust is directional
+    tok2 = fabric.provider("anl").issue("agent@anl")
+    assert not fabric.validate_at("ornl", tok2)
+
+
+def test_federate_creates_clique(sim):
+    fabric = make_fabric(sim)
+    fabric.federate()
+    tok = fabric.provider("slac").issue("agent@slac")
+    for inst in ("ornl", "anl", "slac"):
+        assert fabric.validate_at(inst, tok)
+
+
+def test_distrust_revokes_federation_edge(sim):
+    fabric = make_fabric(sim)
+    fabric.federate()
+    fabric.distrust("ornl", "anl")
+    tok = fabric.provider("anl").issue("agent@anl")
+    assert not fabric.validate_at("ornl", tok)
+    # self-trust cannot be removed
+    fabric.distrust("anl", "anl")
+    assert fabric.validate_at("anl", tok)
+
+
+def test_unknown_issuer_rejected(sim):
+    fabric = make_fabric(sim)
+    from repro.security.tokens import Token
+    rogue = Token.mint(b"rogue", "evil", "rogue-inst", ("*",), {}, 0.0, 1e9)
+    fabric._trusts.add(("ornl", "rogue-inst"))  # even with trust edge
+    assert not fabric.validate_at("ornl", rogue)

@@ -1,0 +1,151 @@
+"""Tests for the zero-trust gateway and audit log."""
+
+import pytest
+
+from repro.comm import Envelope, Message, Performative
+from repro.security import (AuditLog, Decision, FederatedIdentityProvider,
+                            Identity, Policy, PolicyEngine, Rule,
+                            SecurityError, TrustFabric, ZeroTrustGateway)
+from repro.security.abac import allow_all_within_federation
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def world(sim):
+    fabric = TrustFabric()
+    for inst in ("ornl", "anl"):
+        idp = FederatedIdentityProvider(sim, inst, default_ttl_s=100.0)
+        idp.enroll(Identity.make(f"agent@{inst}", inst, role="agent"))
+        fabric.add_provider(idp)
+    fabric.federate()
+    engine = PolicyEngine(allow_all_within_federation())
+    gateway = ZeroTrustGateway(
+        sim, fabric, engine,
+        site_institution={"site-ornl": "ornl", "site-anl": "anl"},
+        verify_latency_s=0.002)
+    return fabric, engine, gateway
+
+
+def envelope(sim, token, dst="site-anl"):
+    msg = Message(Performative.REQUEST, "agent@ornl", "target")
+    return Envelope(message=msg, src_site="site-ornl", dst_site=dst,
+                    token=token, enqueued_at=sim.now)
+
+
+def test_valid_token_allows_and_charges_latency(sim, world):
+    fabric, _, gateway = world
+    tok = fabric.provider("ornl").issue("agent@ornl")
+    delay = gateway.verify(envelope(sim, tok), action="rpc:run")
+    assert delay == 0.002
+    assert gateway.stats["verified"] == 1
+
+
+def test_missing_token_rejected(sim, world):
+    _, _, gateway = world
+    with pytest.raises(SecurityError, match="no token"):
+        gateway.verify(envelope(sim, None), action="rpc:run")
+    assert gateway.stats["rejected_authn"] == 1
+
+
+def test_expired_token_rejected(sim, world):
+    fabric, _, gateway = world
+    tok = fabric.provider("ornl").issue("agent@ornl", ttl_s=1.0)
+    sim.run(until=5.0)
+    with pytest.raises(SecurityError, match="expired"):
+        gateway.verify(envelope(sim, tok), action="rpc:run")
+
+
+def test_untrusted_issuer_rejected(sim, world):
+    fabric, _, gateway = world
+    fabric.distrust("anl", "ornl")
+    tok = fabric.provider("ornl").issue("agent@ornl")
+    with pytest.raises(SecurityError, match="not honoured"):
+        gateway.verify(envelope(sim, tok, dst="site-anl"), action="rpc:run")
+
+
+def test_out_of_scope_token_rejected(sim, world):
+    fabric, _, gateway = world
+    tok = fabric.provider("ornl").issue("agent@ornl", scopes=("data:read",))
+    with pytest.raises(SecurityError, match="scope"):
+        gateway.verify(envelope(sim, tok), action="instrument:fire")
+    assert gateway.stats["rejected_authz"] == 1
+
+
+def test_policy_denial_rejected(sim, world):
+    fabric, engine, gateway = world
+    engine.set_policy("anl", Policy("anl").add(Rule(
+        effect=Decision.DENY, actions=("rpc:secret",),
+        description="anl forbids this")))
+    tok = fabric.provider("ornl").issue("agent@ornl")
+    with pytest.raises(SecurityError, match="forbids"):
+        gateway.verify(envelope(sim, tok), action="rpc:secret")
+
+
+def test_every_decision_audited(sim, world):
+    fabric, _, gateway = world
+    tok = fabric.provider("ornl").issue("agent@ornl")
+    gateway.verify(envelope(sim, tok), action="rpc:a")
+    gateway.verify(envelope(sim, tok), action="rpc:b")
+    with pytest.raises(SecurityError):
+        gateway.verify(envelope(sim, None), action="rpc:c")
+    entries = gateway.audit.entries()
+    assert len(entries) == 3
+    assert [e.decision for e in entries] == ["allow", "allow", "deny"]
+    assert gateway.audit.denial_rate() == pytest.approx(1 / 3)
+
+
+def test_refresh_loop_keeps_token_fresh(sim, world):
+    fabric, _, gateway = world
+
+    class Holder:
+        token = None
+
+    holder = Holder()
+    idp = fabric.provider("ornl")
+    sim.process(gateway.refresh_loop(idp, "agent@ornl", holder))
+    sim.run(until=500.0)  # 5x the 100 s ttl
+    assert holder.token is not None
+    assert not holder.token.expired(sim.now)
+
+
+def test_tampered_token_rejected_by_gateway(sim, world):
+    fabric, _, gateway = world
+    tok = fabric.provider("ornl").issue("agent@ornl")
+    forged = tok.tampered_with(subject="admin@ornl")
+    with pytest.raises(SecurityError):
+        gateway.verify(envelope(sim, forged), action="rpc:run")
+
+
+# -- audit log ------------------------------------------------------------------
+
+def test_audit_query_filters(sim):
+    log = AuditLog(sim)
+    log.record("a", "i", "read", "r", "allow")
+    log.record("b", "i", "write", "r", "deny", reason="nope")
+    log.record("a", "i", "write", "r", "allow")
+    assert len(log.query(subject="a")) == 2
+    assert len(log.query(action="write")) == 2
+    assert len(log.query(decision="deny")) == 1
+    assert len(log.query(subject="a", action="write")) == 1
+
+
+def test_audit_bounded_capacity_drops_oldest(sim):
+    log = AuditLog(sim, capacity=2)
+    for i in range(5):
+        log.record(f"s{i}", "i", "a", "r", "allow")
+    assert len(log) == 2
+    assert log.dropped == 3
+    assert [e.subject for e in log.entries()] == ["s3", "s4"]
+
+
+def test_audit_query_since(sim):
+    log = AuditLog(sim)
+    log.record("a", "i", "x", "r", "allow")
+    sim.run(until=10.0)
+    log.record("b", "i", "x", "r", "allow")
+    assert [e.subject for e in log.query(since=5.0)] == ["b"]

@@ -1,0 +1,188 @@
+"""Tests for event primitives and composite conditions."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.events import ConditionValue
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_event_untriggered_state(sim):
+    ev = sim.event()
+    assert not ev.triggered
+    assert not ev.processed
+    with pytest.raises(RuntimeError):
+        ev.value
+    with pytest.raises(RuntimeError):
+        ev.ok
+
+
+def test_succeed_delivers_value(sim):
+    ev = sim.event()
+    got = []
+
+    def waiter(sim, ev):
+        got.append((yield ev))
+
+    sim.process(waiter(sim, ev))
+    ev.succeed(123)
+    sim.run()
+    assert got == [123]
+    assert ev.ok and ev.processed
+
+
+def test_double_trigger_raises(sim):
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError())
+
+
+def test_fail_requires_exception(sim):
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_fail_delivers_exception_into_process(sim):
+    ev = sim.event()
+    caught = []
+
+    def waiter(sim, ev):
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter(sim, ev))
+    ev.fail(ValueError("nope"))
+    sim.run()
+    assert caught == ["nope"]
+
+
+def test_unwaited_failure_crashes_run(sim):
+    ev = sim.event()
+    ev.fail(RuntimeError("lost failure"))
+    with pytest.raises(RuntimeError, match="lost failure"):
+        sim.run()
+
+
+def test_succeed_with_delay_fires_later(sim):
+    ev = sim.event()
+    seen = []
+
+    def waiter(sim, ev):
+        yield ev
+        seen.append(sim.now)
+
+    sim.process(waiter(sim, ev))
+    ev.succeed(delay=7.0)
+    sim.run()
+    assert seen == [7.0]
+
+
+def test_all_of_waits_for_every_event(sim):
+    done_at = []
+
+    def waiter(sim):
+        t1, t2 = sim.timeout(1.0, "a"), sim.timeout(3.0, "b")
+        result = yield sim.all_of([t1, t2])
+        done_at.append(sim.now)
+        assert result[t1] == "a"
+        assert result[t2] == "b"
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert done_at == [3.0]
+
+
+def test_any_of_fires_on_first(sim):
+    done_at = []
+
+    def waiter(sim):
+        first = sim.timeout(1.0, "fast")
+        result = yield sim.any_of([first, sim.timeout(3.0, "slow")])
+        done_at.append(sim.now)
+        assert result[first] == "fast"
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert done_at == [1.0]
+    assert sim.now == 3.0  # the slow timeout still drains
+
+
+def test_and_or_operators(sim):
+    results = []
+
+    def waiter(sim):
+        both = yield sim.timeout(1.0, 1) & sim.timeout(2.0, 2)
+        results.append(("and", sim.now, len(both)))
+        either = yield sim.timeout(1.0, 1) | sim.timeout(5.0, 2)
+        results.append(("or", sim.now, len(either)))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert results[0] == ("and", 2.0, 2)
+    assert results[1] == ("or", 3.0, 1)
+
+
+def test_empty_all_of_succeeds_immediately(sim):
+    ev = sim.all_of([])
+    assert ev.triggered
+    assert isinstance(ev.value, ConditionValue)
+    assert len(ev.value) == 0
+
+
+def test_all_of_fails_fast_on_child_failure(sim):
+    caught = []
+
+    def waiter(sim):
+        bad = sim.event()
+        bad.fail(RuntimeError("child died"))
+        try:
+            yield sim.all_of([sim.timeout(10.0), bad])
+        except RuntimeError as exc:
+            caught.append((sim.now, str(exc)))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert caught == [(0.0, "child died")]
+
+
+def test_condition_with_already_processed_children(sim):
+    t = sim.timeout(1.0, "x")
+    sim.run()
+    seen = []
+
+    def waiter(sim, t):
+        result = yield sim.all_of([t])
+        seen.append(result[t])
+
+    sim.process(waiter(sim, t))
+    sim.run()
+    assert seen == ["x"]
+
+
+def test_condition_rejects_foreign_events(sim):
+    other = Simulator()
+    with pytest.raises(ValueError):
+        sim.all_of([sim.timeout(1.0), other.timeout(1.0)])
+
+
+def test_condition_value_mapping_api(sim):
+    t1 = sim.timeout(0.0, "v")
+    cond = sim.all_of([t1])
+    sim.run()
+    value = cond.value
+    assert t1 in value
+    assert value[t1] == "v"
+    assert list(value) == [t1]
+    assert value.todict() == {t1: "v"}
+    with pytest.raises(KeyError):
+        value[sim.event()]

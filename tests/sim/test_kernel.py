@@ -1,0 +1,119 @@
+"""Tests for the discrete-event simulation loop."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.kernel import EmptySchedule
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulator(start=100.0).now == 100.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(3.5)
+    sim.run()
+    assert sim.now == 3.5
+
+
+def test_run_until_time_stops_clock_at_deadline():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(2.0)
+        return "payload"
+
+    p = sim.process(proc(sim))
+    assert sim.run(until=p) == "payload"
+    assert sim.now == 2.0
+
+
+def test_run_until_past_deadline_raises():
+    sim = Simulator()
+    sim.timeout(1.0)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.run(until=0.5)
+
+
+def test_run_until_never_fired_event_raises():
+    sim = Simulator()
+    ev = sim.event()  # nobody ever triggers it
+    with pytest.raises(RuntimeError):
+        sim.run(until=ev)
+
+
+def test_step_empty_queue_raises():
+    with pytest.raises(EmptySchedule):
+        Simulator().step()
+
+
+def test_events_at_same_time_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abc":
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_schedule_callback_runs_at_delay():
+    sim = Simulator()
+    fired = []
+    sim.schedule_callback(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_back_to_back_run_until_composes():
+    sim = Simulator()
+    sim.run(until=5.0)
+    sim.run(until=9.0)
+    assert sim.now == 9.0
+
+
+def test_unhandled_process_exception_propagates():
+    sim = Simulator()
+
+    def boom(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("kaboom")
+
+    sim.process(boom(sim))
+    with pytest.raises(RuntimeError, match="kaboom"):
+        sim.run()
+
+
+def test_awaited_process_exception_delivered_to_run():
+    sim = Simulator()
+
+    def boom(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("caught by run")
+
+    p = sim.process(boom(sim))
+    with pytest.raises(ValueError, match="caught by run"):
+        sim.run(until=p)

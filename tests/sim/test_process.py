@@ -1,0 +1,170 @@
+"""Tests for generator-based processes and interrupts."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_process_return_value(sim):
+    def proc(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == 42
+    assert not p.is_alive
+
+
+def test_process_waits_on_another_process(sim):
+    def child(sim):
+        yield sim.timeout(2.0)
+        return "child-result"
+
+    def parent(sim, results):
+        results.append((yield sim.process(child(sim))))
+
+    results = []
+    sim.process(parent(sim, results))
+    sim.run()
+    assert results == ["child-result"]
+
+
+def test_non_generator_rejected(sim):
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)
+
+
+def test_yielding_non_event_raises_inside_process(sim):
+    def proc(sim):
+        yield "not an event"
+
+    p = sim.process(proc(sim))
+    with pytest.raises(TypeError, match="not an Event"):
+        sim.run()
+    assert not p.is_alive
+
+
+def test_interrupt_delivers_cause(sim):
+    causes = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as i:
+            causes.append((sim.now, i.cause))
+
+    def attacker(sim, victim_proc):
+        yield sim.timeout(5.0)
+        victim_proc.interrupt("maintenance")
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v))
+    sim.run()
+    assert causes == [(5.0, "maintenance")]
+
+
+def test_interrupted_process_can_continue(sim):
+    trail = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            trail.append("interrupted")
+        yield sim.timeout(1.0)
+        trail.append("resumed")
+
+    def attacker(sim, v):
+        yield sim.timeout(2.0)
+        v.interrupt()
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v))
+    sim.run()
+    assert trail == ["interrupted", "resumed"]
+    assert sim.now == 100.0  # original timeout still drains the queue
+
+
+def test_interrupt_finished_process_raises(sim):
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_self_interrupt_rejected(sim):
+    def proc(sim):
+        me = sim.active_process
+        with pytest.raises(RuntimeError):
+            me.interrupt()
+        yield sim.timeout(0.0)
+
+    sim.process(proc(sim))
+    sim.run()
+
+
+def test_interrupt_race_with_completion_is_dropped(sim):
+    # Interrupt scheduled at the same instant the victim finishes: the
+    # victim's completion wins and the interrupt evaporates.
+    def victim(sim):
+        yield sim.timeout(1.0)
+        return "ok"
+
+    def attacker(sim, v):
+        yield sim.timeout(1.0)
+        if v.is_alive:
+            v.interrupt()
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v))
+    sim.run()
+    assert v.value == "ok"
+
+
+def test_processes_created_in_order_start_in_order(sim):
+    order = []
+
+    def proc(sim, tag):
+        order.append(tag)
+        yield sim.timeout(0.0)
+
+    for tag in range(5):
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_active_process_visible_during_execution(sim):
+    seen = []
+
+    def proc(sim):
+        seen.append(sim.active_process)
+        yield sim.timeout(0.0)
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert seen == [p]
+    assert sim.active_process is None
+
+
+def test_nested_synchronous_waits(sim):
+    # Waiting on an already-processed event resumes without rescheduling.
+    def proc(sim):
+        t = sim.timeout(1.0, "x")
+        yield sim.timeout(2.0)
+        value = yield t  # t fired at t=1, already processed
+        return value
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == "x"
+    assert sim.now == 2.0

@@ -1,0 +1,59 @@
+"""Smoke tests: every shipped example must run end-to-end.
+
+Slow examples get their module constants shrunk first — the point is that
+the public API wiring works, not the full-scale result.
+"""
+
+import importlib
+
+import pytest
+
+
+def _run_main(module_name: str, monkeypatch, **overrides):
+    mod = importlib.import_module(module_name)
+    for name, value in overrides.items():
+        monkeypatch.setattr(mod, name, value, raising=True)
+    mod.main()
+
+
+def test_quickstart_runs(capsys, monkeypatch):
+    _run_main("examples.quickstart", monkeypatch)
+    out = capsys.readouterr().out
+    assert "campaign summary" in out
+    assert "best recipe found" in out
+
+
+def test_federated_campaign_runs(capsys, monkeypatch):
+    _run_main("examples.federated_campaign", monkeypatch,
+              DONOR_BUDGET=15, JOINER_BUDGET=25, TARGET=0.25)
+    out = capsys.readouterr().out
+    assert "experiments to target" in out
+    assert "knowledge integration" in out
+
+
+def test_smart_dope_runs(capsys, monkeypatch):
+    _run_main("examples.smart_dope", monkeypatch, BUDGET=30)
+    out = capsys.readouterr().out
+    assert "synthesis condition space" in out
+    assert "oracle optimum" in out
+
+
+def test_resilient_operations_runs(capsys, monkeypatch):
+    _run_main("examples.resilient_operations", monkeypatch)
+    out = capsys.readouterr().out
+    assert "campaign under fire" in out
+    assert "still completed" in out
+
+
+def test_data_fabric_tour_runs(capsys, monkeypatch):
+    _run_main("examples.data_fabric_tour", monkeypatch)
+    out = capsys.readouterr().out
+    assert "near-real-time stream processing" in out
+    assert "restricted record export blocked: True" in out
+
+
+def test_cross_facility_workflow_runs(capsys, monkeypatch):
+    _run_main("examples.cross_facility_workflow", monkeypatch)
+    out = capsys.readouterr().out
+    assert "critical path" in out
+    assert "analysis verdict" in out
