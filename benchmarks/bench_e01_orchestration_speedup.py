@@ -6,11 +6,13 @@ Both arms run the same fluidic lab, the same optimizer, and the same
 budget of experiments; the only difference is who closes the loop — the
 hierarchical agent stack (LLM orchestrates, BO proposes, verification
 vets) or a human scientist with realistic decision latency and working
-hours.  We report total campaign time and the speedup ratio.
+hours.  We report total campaign time, the speedup ratio, and the
+per-experiment duration distribution from the observability registry.
 """
 
 from benchmarks.conftest import fmt, report
-from repro.core import CampaignSpec, FederationManager
+from repro import Testbed
+from repro.core import CampaignSpec
 from repro.labsci import QuantumDotLandscape
 
 BUDGET = 30
@@ -18,17 +20,21 @@ SEED = 21
 
 
 def _run_arm(mode: str):
-    fed = FederationManager(seed=SEED, n_sites=2, objective_key="plqy")
-    lab = fed.add_lab("site-0", lambda s: QuantumDotLandscape(seed=7))
+    built = (Testbed(seed=SEED)
+             .with_metrics()
+             .site("site-0", landscape=QuantumDotLandscape(seed=7))
+             .with_verification()
+             .build())
     spec = CampaignSpec(name=f"e1-{mode}", objective_key="plqy",
                         max_experiments=BUDGET)
     if mode == "manual":
-        runner = fed.make_manual(lab, batch_size=4,
-                                 decision_delay_s=4 * 3600.0)
+        runner = built.fed.make_manual(built.lab("site-0"), batch_size=4,
+                                       decision_delay_s=4 * 3600.0)
+        proc = built.sim.process(runner.run_campaign(spec))
+        result = built.sim.run(until=proc)
     else:
-        runner = fed.make_orchestrator(lab, verified=True)
-    proc = fed.sim.process(runner.run_campaign(spec))
-    return fed.sim.run(until=proc)
+        result = built.run(spec, site="site-0")
+    return result, built.metrics
 
 
 def test_e01_orchestration_speedup(bench_once):
@@ -36,7 +42,8 @@ def test_e01_orchestration_speedup(bench_once):
         return {mode: _run_arm(mode) for mode in ("manual", "autonomous")}
 
     results = bench_once(scenario)
-    manual, auto = results["manual"], results["autonomous"]
+    manual, _ = results["manual"]
+    auto, auto_metrics = results["autonomous"]
     ratio = manual.duration / auto.duration
     report(
         "E1: hierarchical orchestration speedup (M8 target: >=3x)",
@@ -50,8 +57,22 @@ def test_e01_orchestration_speedup(bench_once):
              f"{ratio:.1f}x"],
         ])
 
+    # Per-experiment duration distribution, straight from the registry
+    # histogram the orchestrator reports into (no sample list kept).
+    hist = auto_metrics.histogram("campaign.experiment_duration",
+                                  site="site-0")
+    pcts = hist.percentiles()
+    report(
+        "E1: autonomous per-experiment duration (registry histogram)",
+        ["experiments", "p50 (min)", "p95 (min)", "p99 (min)"],
+        [[hist.count, fmt(pcts["p50"] / 60.0, 1), fmt(pcts["p95"] / 60.0, 1),
+          fmt(pcts["p99"] / 60.0, 1)]])
+
     # Shape assertions per the reproduction contract.
     assert manual.n_experiments == auto.n_experiments == BUDGET
     assert ratio >= 3.0, f"expected >=3x speedup (M8), got {ratio:.1f}x"
     # Same optimizer: scientific quality should be comparable.
     assert auto.best_value >= 0.5 * manual.best_value
+    # The histogram saw every autonomous experiment.
+    assert hist.count == BUDGET
+    assert pcts["p50"] <= pcts["p95"] <= pcts["p99"]

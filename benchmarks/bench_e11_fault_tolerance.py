@@ -11,8 +11,9 @@ fixed simulated window, and campaign survival.
 """
 
 from benchmarks.conftest import fmt, report
+from repro import Testbed
 from repro.agents import Supervisor
-from repro.core import CampaignSpec, FederationManager
+from repro.core import CampaignSpec
 from repro.labsci import QuantumDotLandscape
 
 WINDOW_S = 8 * 3600.0
@@ -21,13 +22,18 @@ SEEDS = (2, 9)
 
 
 def _run(tolerant: bool, seed: int):
-    fed = FederationManager(seed=seed, n_sites=3, objective_key="plqy")
-    primary = fed.add_lab("site-0", lambda s: QuantumDotLandscape(seed=7),
-                          mtbf_hours=0.25, repair_time_s=1200.0)
-    backup = fed.add_lab("site-1", lambda s: QuantumDotLandscape(seed=7))
-    orch = fed.make_orchestrator(
-        primary, verified=True, fault_tolerant=tolerant,
-        alternates=[backup] if tolerant else None)
+    primary_site = (Testbed(seed=seed, n_sites=3)
+                    .site("site-0",
+                          landscape=lambda s: QuantumDotLandscape(seed=7))
+                    .with_instruments(mtbf_hours=0.25, repair_time_s=1200.0))
+    if tolerant:
+        primary_site.with_fault_tolerance("site-1")
+    built = (primary_site
+             .site("site-1", landscape=lambda s: QuantumDotLandscape(seed=7))
+             .build())
+    fed = built.fed
+    primary = built.lab("site-0")
+    orch = built.orchestrator("site-0")
 
     for agent in (primary.planner, primary.executor, primary.evaluator):
         agent.start()

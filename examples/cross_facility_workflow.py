@@ -14,16 +14,19 @@ experiment and computation.
 Run:  python examples/cross_facility_workflow.py
 """
 
-from repro.core import FederationManager, WorkflowDAG
+from repro import Testbed
+from repro.core import WorkflowDAG
 from repro.instruments import (ElectronMicroscope, HpcCluster,
                                XRayDiffractometer)
 from repro.labsci import QuantumDotLandscape
 
 
 def main() -> None:
-    fed = FederationManager(seed=6, n_sites=3, objective_key="plqy")
     landscape = QuantumDotLandscape(seed=7)
-    lab = fed.add_lab("site-0", lambda s: landscape)  # synthesis lab
+    built = (Testbed(seed=6, n_sites=3)
+             .site("site-0", landscape=landscape)   # synthesis lab
+             .build())
+    fed, lab = built.fed, built.lab("site-0")
     sim, rngs = fed.sim, fed.rngs
 
     # The national user facility at site-1 and HPC center at site-2.

@@ -9,26 +9,26 @@ discovery campaign, then prints what happened.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import CampaignSpec, FederationManager
+from repro import Testbed
+from repro.core import CampaignSpec
 from repro.labsci import QuantumDotLandscape
 
 
 def main() -> None:
-    # The federation manager wires the whole stack; one lab is enough here.
-    fed = FederationManager(seed=42, n_sites=2, objective_key="plqy")
-    lab = fed.add_lab(
-        "site-0",
-        landscape_factory=lambda site: QuantumDotLandscape(seed=7),
-        synthesis_kind="flow",          # fluidic SDL
-        vendor="kelvin-sci",            # vendor dialect hidden by the HAL
-        planner_mode="hierarchical",    # LLM orchestrates, BO proposes
-    )
-    orchestrator = fed.make_orchestrator(lab, verified=True)
+    # The testbed builder wires the whole stack; one lab is enough here.
+    built = (Testbed(seed=42)
+             .site("site-0")
+             .with_landscape(QuantumDotLandscape(seed=7))
+             .with_instruments(synthesis="flow",   # fluidic SDL
+                               vendor="kelvin-sci")  # dialect hidden by HAL
+             .with_planner(mode="hierarchical")   # LLM orchestrates, BO asks
+             .with_verification()
+             .build())
+    lab = built.lab("site-0")
 
     spec = CampaignSpec(name="qd-quickstart", objective_key="plqy",
                         max_experiments=60)
-    proc = fed.sim.process(orchestrator.run_campaign(spec))
-    result = fed.sim.run(until=proc)
+    result = built.run(spec, site="site-0")
 
     print("=== campaign summary ===")
     for key, value in result.summary().items():

@@ -21,7 +21,9 @@ synthetic ground-truth science lives in :mod:`repro.labsci`.
 
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
+from repro.testbed import BuiltTestbed, SiteBuilder, Testbed
 
-__all__ = ["Simulator", "RngRegistry", "__version__"]
+__all__ = ["BuiltTestbed", "RngRegistry", "Simulator", "SiteBuilder",
+           "Testbed", "__version__"]
 
 __version__ = "1.0.0"

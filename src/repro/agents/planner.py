@@ -21,6 +21,10 @@ from repro.agents.base import Agent, AgentRuntime
 from repro.agents.llm import SimulatedLLM
 from repro.methods.baselines import AskTellOptimizer
 
+# Fallback ids for plans built outside a planner.  Plans minted by a
+# PlannerAgent get instance-scoped ids instead, so same-seed runs in one
+# process produce identical plan ids (the determinism contract extends to
+# trace exports, which carry plan_id attributes).
 _plan_ids = itertools.count(1)
 
 
@@ -81,6 +85,10 @@ class PlannerAgent(Agent):
         self.safety_envelope = dict(safety_envelope or {})
         self.plan_stats = {"plans": 0, "llm_plans": 0, "optimizer_plans": 0,
                            "repairs": 0}
+        self._plan_ids = itertools.count(1)
+
+    def _next_plan_id(self) -> str:
+        return f"{self.name}-plan-{next(self._plan_ids)}"
 
     # -- planning --------------------------------------------------------------
 
@@ -112,6 +120,7 @@ class PlannerAgent(Agent):
         return ExperimentPlan(params=dict(params), expected=expected,
                               source="optimizer",
                               rationale="BO acquisition argmax",
+                              plan_id=self._next_plan_id(),
                               grounded=True)
 
     def _llm_direct_plan(self):
@@ -124,6 +133,7 @@ class PlannerAgent(Agent):
                               expected=dict(content.get("expected", {})),
                               source="llm",
                               rationale="LLM free-form proposal",
+                              plan_id=self._next_plan_id(),
                               grounded=resp.grounded)
 
     def repair_plan(self, rejected: ExperimentPlan):
@@ -142,6 +152,7 @@ class PlannerAgent(Agent):
                                   source="optimizer-repair",
                                   rationale=f"diversified repair of "
                                             f"{rejected.plan_id}",
+                                  plan_id=self._next_plan_id(),
                                   grounded=True, repaired=True)
         params = self.optimizer.ask()
         expected = {}
@@ -151,6 +162,7 @@ class PlannerAgent(Agent):
         return ExperimentPlan(params=dict(params), expected=expected,
                               source="optimizer-repair",
                               rationale=f"repair of {rejected.plan_id}",
+                              plan_id=self._next_plan_id(),
                               grounded=True, repaired=True)
         yield  # pragma: no cover - marks this function as a generator
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.comm.message import Envelope, Message
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -62,20 +63,30 @@ class Queue:
     """A named broker-side queue with ack/nack redelivery semantics."""
 
     def __init__(self, sim: "Simulator", name: str,
-                 max_attempts: int = 5) -> None:
+                 max_attempts: int = 5,
+                 metrics: Optional[MetricsRegistry] = None,
+                 site: str = "") -> None:
         self.sim = sim
         self.name = name
         self.max_attempts = max_attempts
         self._store: Store = Store(sim)
         self._unacked: dict[int, Envelope] = {}
         self.dead_letters: list[Envelope] = []
-        self.stats = {"delivered": 0, "acked": 0, "nacked": 0, "dead": 0}
+        metrics = metrics or MetricsRegistry()
+        labels = {"queue": name}
+        if site:
+            labels["site"] = site
+        self.stats = metrics.stats(
+            "bus.queue",
+            {"delivered": 0, "acked": 0, "nacked": 0, "dead": 0}, **labels)
+        self._depth = metrics.gauge("bus.queue.depth", **labels)
 
     def __len__(self) -> int:
         return len(self._store)
 
     def push(self, envelope: Envelope) -> None:
         self._store.put(envelope)
+        self._depth.set(len(self._store))
 
     def get(self):
         """Event yielding the next envelope (must later be acked/nacked)."""
@@ -88,6 +99,7 @@ class Queue:
             env: Envelope = event.value
             self._unacked[env.message.msg_id] = env
             self.stats["delivered"] += 1
+            self._depth.set(len(self._store))
 
     def ack(self, envelope: Envelope) -> None:
         """Confirm processing; the message will not be redelivered."""
@@ -104,6 +116,7 @@ class Queue:
             return
         envelope.attempt += 1
         self._store.put(envelope)
+        self._depth.set(len(self._store))
 
     @property
     def unacked_count(self) -> int:
@@ -114,19 +127,24 @@ class Broker:
     """A message broker hosted at one site."""
 
     def __init__(self, sim: "Simulator", name: str, site: str,
-                 routing_delay_s: float = 0.0005) -> None:
+                 routing_delay_s: float = 0.0005,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
         self.name = name
         self.site = site
         self.routing_delay_s = routing_delay_s
         self.alive = True
+        self.metrics = metrics or MetricsRegistry()
         self.queues: dict[str, Queue] = {}
         self._bindings: list[tuple[str, str]] = []  # (pattern, queue name)
-        self.stats = {"published": 0, "routed": 0, "unroutable": 0}
+        self.stats = self.metrics.stats(
+            "bus.broker", {"published": 0, "routed": 0, "unroutable": 0},
+            broker=name, site=site)
 
     def declare_queue(self, name: str, max_attempts: int = 5) -> Queue:
         if name not in self.queues:
-            self.queues[name] = Queue(self.sim, name, max_attempts)
+            self.queues[name] = Queue(self.sim, name, max_attempts,
+                                      metrics=self.metrics, site=self.site)
         return self.queues[name]
 
     def bind(self, queue_name: str, pattern: str) -> None:
@@ -172,18 +190,24 @@ class MessageBus:
     gateway:
         Optional zero-trust gateway; when present every publish/consume is
         verified (see :mod:`repro.security.zerotrust`).
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry` every
+        broker and queue reports into.
     """
 
     def __init__(self, sim: "Simulator", network: "Network",
-                 gateway: Any = None) -> None:
+                 gateway: Any = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
         self.network = network
         self.gateway = gateway
+        self.metrics = metrics or MetricsRegistry()
         self.brokers: dict[str, Broker] = {}
 
     def add_broker(self, name: str, site: str, **kw: Any) -> Broker:
         if name in self.brokers:
             raise ValueError(f"duplicate broker {name!r}")
+        kw.setdefault("metrics", self.metrics)
         broker = Broker(self.sim, name, site, **kw)
         self.brokers[name] = broker
         return broker

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 from repro.comm.message import Envelope, Message, Performative
 from repro.comm.serialization import estimate_size
 from repro.net.transport import NetworkError
+from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.transport import Network
@@ -119,19 +120,29 @@ class RpcClient:
     token:
         Credential attached to every call (may be refreshed at any time by
         assigning to :attr:`token`).
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry`; call
+        counters and the per-site ``rpc.call_latency`` histogram report
+        into it (E4 reads its p50/p95/p99 straight from the registry).
     """
 
     def __init__(self, sim: "Simulator", network: "Network", site: str,
                  identity: str = "client", gateway: Any = None,
-                 token: Optional[str] = None) -> None:
+                 token: Optional[str] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
         self.network = network
         self.site = site
         self.identity = identity
         self.gateway = gateway
         self.token = token
-        self.stats = {"calls": 0, "retries": 0, "timeouts": 0,
-                      "failures": 0, "total_latency": 0.0}
+        self.metrics = metrics or MetricsRegistry()
+        self.stats = self.metrics.stats(
+            "rpc.client",
+            {"calls": 0, "retries": 0, "timeouts": 0,
+             "failures": 0, "total_latency": 0.0}, site=site)
+        self.latency_hist = self.metrics.histogram("rpc.call_latency",
+                                                   site=site)
         self.latencies: list[float] = []
 
     def call(self, server: RpcServer, method: str, payload: Any = None,
@@ -167,6 +178,7 @@ class RpcClient:
             if work in result:
                 latency = self.sim.now - start
                 self.stats["total_latency"] += latency
+                self.latency_hist.observe(latency)
                 self.latencies.append(latency)
                 return result[work]
             # Deadline fired first; detach from the in-flight attempt and

@@ -20,7 +20,8 @@ from repro.core.faulttol import FaultTolerantExecutor
 from repro.core.federation import FederationManager, LabSite
 from repro.core.knowledge import KnowledgeBase
 from repro.core.manual import ManualOrchestrator
-from repro.core.metrics import experiments_to_target, speedup, time_to_target
+from repro.core.metrics import (CampaignMetrics, experiments_to_target,
+                                speedup, time_to_target)
 from repro.core.orchestrator import HierarchicalOrchestrator
 from repro.core.verification import (PhysicsConstraintVerifier,
                                      SurrogateConsistencyVerifier,
@@ -28,6 +29,7 @@ from repro.core.verification import (PhysicsConstraintVerifier,
 from repro.core.workflow import WorkflowDAG, WorkflowStep
 
 __all__ = [
+    "CampaignMetrics",
     "CampaignResult",
     "CampaignSpec",
     "ExperimentRecord",

@@ -24,6 +24,7 @@ from repro.agents.executor import ExecutorAgent, ExperimentOutcome
 from repro.agents.planner import ExperimentPlan
 from repro.instruments.base import Instrument, InstrumentStatus
 from repro.instruments.errors import InstrumentFault
+from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.kernel import Simulator
@@ -45,19 +46,28 @@ class FaultTolerantExecutor:
         Executors at other sites that can run the same plan.
     max_attempts:
         Total execution attempts per plan across all routes.
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry` the
+        fault-handling counters and repair-time histogram report into.
     """
 
     def __init__(self, sim: "Simulator", primary: ExecutorAgent,
                  primary_instruments: Optional[list[Instrument]] = None,
                  alternates: Optional[list[ExecutorAgent]] = None,
-                 max_attempts: int = 3) -> None:
+                 max_attempts: int = 3,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
         self.primary = primary
         self.primary_instruments = list(primary_instruments or [])
         self.alternates = list(alternates or [])
         self.max_attempts = max_attempts
-        self.stats = {"attempts": 0, "faults_handled": 0, "repairs": 0,
-                      "failovers": 0, "gave_up": 0}
+        self.metrics = metrics or MetricsRegistry()
+        self.stats = self.metrics.stats(
+            "faulttol",
+            {"attempts": 0, "faults_handled": 0, "repairs": 0,
+             "failovers": 0, "gave_up": 0}, site=primary.site)
+        self.repair_hist = self.metrics.histogram("faulttol.repair_time",
+                                                  site=primary.site)
         self.events: list[tuple[float, str, str]] = []
         self._repairing: set[str] = set()
 
@@ -67,12 +77,14 @@ class FaultTolerantExecutor:
             if (inst.status is InstrumentStatus.FAULT
                     and inst.name not in self._repairing):
                 self._repairing.add(inst.name)
-                self.events.append((self.sim.now, "repair-start", inst.name))
+                started = self.sim.now
+                self.events.append((started, "repair-start", inst.name))
                 try:
                     yield from inst.repair()
                 finally:
                     self._repairing.discard(inst.name)
                 self.stats["repairs"] += 1
+                self.repair_hist.observe(self.sim.now - started)
                 self.events.append((self.sim.now, "repair-done", inst.name))
 
     def _start_background_repair(self) -> None:

@@ -35,6 +35,8 @@ from repro.instruments.vendors import VENDOR_DIALECTS, make_vendor_protocol
 from repro.labsci.landscapes import Landscape
 from repro.methods.nested import NestedBayesianOptimizer
 from repro.net.faults import FaultInjector
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.net.topology import Topology
 from repro.net.transport import Network
 from repro.security.abac import (PolicyEngine, allow_all_within_federation,
@@ -112,20 +114,33 @@ class FederationManager:
         Wire the zero-trust stack (identity, ABAC, gateway).
     with_mesh:
         Attach a federated data mesh node per lab.
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry`; one
+        is created when omitted so ``fed.metrics`` always sees the whole
+        federation (transport, HAL, fault tolerance, campaigns).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` threaded into every
+        orchestrator built by :meth:`make_orchestrator` (no-op default).
     """
 
     def __init__(self, seed: int = 0, n_sites: int = 3, *,
                  objective_key: str = "plqy", secure: bool = False,
                  with_mesh: bool = False,
-                 wan_latency_s: float = 0.02) -> None:
-        self.sim = Simulator()
+                 wan_latency_s: float = 0.02,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 sim: Optional[Simulator] = None) -> None:
+        self.sim = sim if sim is not None else Simulator()
         self.rngs = RngRegistry(seed)
         self.objective_key = objective_key
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.topology = Topology.national_lab_testbed(
             n_sites, latency_s=wan_latency_s, jitter_s=wan_latency_s / 10.0)
         self.faults = FaultInjector(self.sim)
         self.network = Network(self.sim, self.topology,
-                               self.rngs.stream("net"), self.faults)
+                               self.rngs.stream("net"), self.faults,
+                               metrics=self.metrics)
         self.runtime = AgentRuntime(self.sim, self.network)
         self.registry = ServiceRegistry(self.sim)
         self.labs: dict[str, LabSite] = {}
@@ -177,7 +192,7 @@ class FederationManager:
                          else DEFAULT_FORBIDDEN)
 
         # Instruments behind a vendor protocol + HAL (M1).
-        hal = HardwareAbstractionLayer()
+        hal = HardwareAbstractionLayer(metrics=self.metrics)
         if synthesis_kind == "flow":
             synthesis = FluidicReactor(
                 self.sim, f"reactor.{site_name}", site_name, self.rngs,
@@ -265,11 +280,13 @@ class FederationManager:
             ft = FaultTolerantExecutor(
                 self.sim, lab.executor,
                 primary_instruments=lab.instruments(),
-                alternates=[alt.executor for alt in (alternates or [])])
+                alternates=[alt.executor for alt in (alternates or [])],
+                metrics=self.metrics)
         return HierarchicalOrchestrator(
             self.sim, lab.planner, lab.executor, lab.evaluator,
             verification=verification, knowledge=knowledge,
-            fault_tolerant=ft, mesh_node=lab.mesh_node)
+            fault_tolerant=ft, mesh_node=lab.mesh_node,
+            tracer=self.tracer, metrics=self.metrics)
 
     def make_manual(self, lab: LabSite, **kw: Any) -> ManualOrchestrator:
         return ManualOrchestrator(self.sim, lab.planner, lab.executor,

@@ -1,11 +1,95 @@
-"""Campaign comparison metrics used throughout the benchmarks."""
+"""Campaign comparison metrics used throughout the benchmarks.
+
+The primary API is :class:`CampaignMetrics` — derive one per campaign
+with :meth:`CampaignMetrics.from_result` and compare arms with
+:meth:`~CampaignMetrics.speedup_vs` / :meth:`~CampaignMetrics.reduction_vs`.
+The original module-level functions remain as thin delegating wrappers,
+so existing call sites keep working unchanged.
+
+All comparisons are ``None``-propagating: a campaign that never reached
+its target yields ``None`` (reported as "DNF") rather than a fabricated
+ratio.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.campaign import CampaignResult
 
+
+@dataclass(frozen=True)
+class CampaignMetrics:
+    """Derived per-campaign quantities, computed once from a result.
+
+    Attributes
+    ----------
+    time_to_target:
+        Sim-seconds from campaign start until the target was first met
+        (``None`` when the campaign never reached it, or no target given).
+    experiments_to_target:
+        Number of executed experiments until the target was first met.
+    duration:
+        Total campaign time on the simulated clock.
+    n_experiments:
+        Executed experiment count.
+    best_value:
+        Best objective the campaign achieved.
+    target:
+        The target these metrics were computed against (``None`` when the
+        caller supplied none and the spec carried none).
+    """
+
+    time_to_target: Optional[float]
+    experiments_to_target: Optional[int]
+    duration: float
+    n_experiments: int
+    best_value: Optional[float]
+    target: Optional[float] = None
+
+    @classmethod
+    def from_result(cls, result: CampaignResult,
+                    target: Optional[float] = None) -> "CampaignMetrics":
+        """Compute every derived metric from one campaign result.
+
+        ``target`` defaults to the campaign spec's own target; pass one
+        explicitly to evaluate against a different threshold.
+        """
+        if target is None:
+            target = result.spec.target
+        ttt: Optional[float] = None
+        ett: Optional[int] = None
+        if target is not None:
+            for i, record in enumerate(result.records, start=1):
+                if (record.valid and record.objective is not None
+                        and record.objective >= target):
+                    ttt = record.finished - result.started
+                    ett = i
+                    break
+        return cls(time_to_target=ttt, experiments_to_target=ett,
+                   duration=result.duration,
+                   n_experiments=result.n_experiments,
+                   best_value=result.best_value, target=target)
+
+    # -- arm-vs-arm comparisons -------------------------------------------
+
+    def speedup_vs(self, baseline: "CampaignMetrics | float | None",
+                   ) -> Optional[float]:
+        """baseline time-to-target / ours — the M8-style "3x" metric."""
+        base = (baseline.time_to_target
+                if isinstance(baseline, CampaignMetrics) else baseline)
+        return speedup(base, self.time_to_target)
+
+    def reduction_vs(self, baseline: "CampaignMetrics | float | None",
+                     ) -> Optional[float]:
+        """1 - ours/baseline in experiments — the M9 ">30% fewer" metric."""
+        base = (baseline.experiments_to_target
+                if isinstance(baseline, CampaignMetrics) else baseline)
+        return reduction_fraction(base, self.experiments_to_target)
+
+
+# -- module-level wrappers (legacy surface, delegate to CampaignMetrics) ----
 
 def time_to_target(result: CampaignResult,
                    target: float) -> Optional[float]:
@@ -13,21 +97,13 @@ def time_to_target(result: CampaignResult,
 
     ``None`` when the campaign never reached it.
     """
-    for record in result.records:
-        if (record.valid and record.objective is not None
-                and record.objective >= target):
-            return record.finished - result.started
-    return None
+    return CampaignMetrics.from_result(result, target).time_to_target
 
 
 def experiments_to_target(result: CampaignResult,
                           target: float) -> Optional[int]:
     """Number of executed experiments until the target was first met."""
-    for i, record in enumerate(result.records, start=1):
-        if (record.valid and record.objective is not None
-                and record.objective >= target):
-            return i
-    return None
+    return CampaignMetrics.from_result(result, target).experiments_to_target
 
 
 def speedup(baseline_time: Optional[float],

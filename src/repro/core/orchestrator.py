@@ -26,10 +26,13 @@ from repro.core.knowledge import KnowledgeBase
 from repro.core.verification import VerificationStack
 from repro.data.record import DataRecord
 from repro.instruments.errors import InstrumentFault
+from repro.obs.trace import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.faulttol import FaultTolerantExecutor
     from repro.data.mesh import DataMeshNode
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
     from repro.sim.kernel import Simulator
 
 
@@ -55,6 +58,15 @@ class HierarchicalOrchestrator:
         full provenance.
     max_repair_attempts:
         Plans repaired at most this many times before being skipped.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; every campaign becomes
+        a span tree (campaign > experiment > plan/verify/execute/evaluate)
+        replayable from the JSON-lines export.  Defaults to the no-op
+        tracer, which costs ~nothing.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; campaign
+        counters and the per-site experiment-duration histogram report
+        into it.
     """
 
     def __init__(self, sim: "Simulator", planner: PlannerAgent,
@@ -63,7 +75,9 @@ class HierarchicalOrchestrator:
                  knowledge: Optional[KnowledgeBase] = None,
                  fault_tolerant: Optional["FaultTolerantExecutor"] = None,
                  mesh_node: Optional["DataMeshNode"] = None,
-                 max_repair_attempts: int = 2) -> None:
+                 max_repair_attempts: int = 2,
+                 tracer: Optional["Tracer"] = None,
+                 metrics: Optional["MetricsRegistry"] = None) -> None:
         self.sim = sim
         self.planner = planner
         self.executor = executor
@@ -74,6 +88,15 @@ class HierarchicalOrchestrator:
         self.mesh_node = mesh_node
         self.max_repair_attempts = max_repair_attempts
         self.site = executor.site
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        if metrics is not None:
+            self._n_experiments = metrics.counter("campaign.experiments",
+                                                  site=self.site)
+            self._n_skipped = metrics.counter("campaign.skipped_plans",
+                                              site=self.site)
+            self._duration_hist = metrics.histogram(
+                "campaign.experiment_duration", site=self.site)
 
     # -- the loop ---------------------------------------------------------------
 
@@ -83,47 +106,63 @@ class HierarchicalOrchestrator:
         stop_reason = "budget-exhausted"
         skipped_plans = 0
         consecutive_skips = 0
+        tracer = self.tracer
 
-        while result.n_experiments < spec.max_experiments:
-            if self.knowledge is not None:
-                self.knowledge.sync(self.site)
+        with tracer.span("campaign", name=spec.name, site=self.site,
+                         budget=spec.max_experiments):
+            while result.n_experiments < spec.max_experiments:
+                with tracer.span("experiment", index=result.n_experiments):
+                    if self.knowledge is not None:
+                        with tracer.span("sync"):
+                            self.knowledge.sync(self.site)
 
-            plan = yield from self.planner.next_plan()
-            plan, accepted = yield from self._verify_and_repair(plan)
-            if not accepted:
-                skipped_plans += 1
-                consecutive_skips += 1
-                if consecutive_skips >= 25:
-                    # Verification is rejecting everything the planner can
-                    # produce: stop and say so rather than spin forever.
-                    stop_reason = "verification-stalemate"
-                    break
-                continue
-            consecutive_skips = 0
+                    with tracer.span("plan"):
+                        plan = yield from self.planner.next_plan()
+                    with tracer.span("verify", plan_id=plan.plan_id):
+                        plan, accepted = yield from self._verify_and_repair(
+                            plan)
+                    if not accepted:
+                        tracer.instant("plan-skipped", plan_id=plan.plan_id)
+                        skipped_plans += 1
+                        consecutive_skips += 1
+                        if consecutive_skips >= 25:
+                            # Verification is rejecting everything the
+                            # planner can produce: stop and say so rather
+                            # than spin forever.
+                            stop_reason = "verification-stalemate"
+                            break
+                        continue
+                    consecutive_skips = 0
 
-            try:
-                outcome = yield from self._execute(plan)
-            except InstrumentFault as exc:
-                stop_reason = f"instrument-fault: {exc}"
-                break
+                    try:
+                        with tracer.span("execute", plan_id=plan.plan_id):
+                            outcome = yield from self._execute(plan)
+                    except InstrumentFault as exc:
+                        stop_reason = f"instrument-fault: {exc}"
+                        break
 
-            verdict = self.evaluator.evaluate(outcome)
-            self._record(result, outcome)
-            if outcome.valid and outcome.objective is not None:
-                self._disseminate(outcome)
+                    with tracer.span("evaluate"):
+                        verdict = self.evaluator.evaluate(outcome)
+                    self._record(result, outcome)
+                    if outcome.valid and outcome.objective is not None:
+                        self._disseminate(outcome)
 
-            if verdict.get("target_reached"):
-                stop_reason = "target-reached"
-                break
-            if verdict.get("converged"):
-                stop_reason = "converged"
-                break
+                    if verdict.get("target_reached"):
+                        stop_reason = "target-reached"
+                        break
+                    if verdict.get("converged"):
+                        stop_reason = "converged"
+                        break
 
         result.finished = self.sim.now
         result.best_value = self.evaluator.best_value
         result.best_params = self.evaluator.best_params
         result.stop_reason = stop_reason
         result.counters = self._counters(skipped_plans)
+        if self.metrics is not None:
+            self._n_skipped.inc(skipped_plans)
+        tracer.instant("campaign-finished", stop_reason=stop_reason,
+                       experiments=result.n_experiments)
         return result
 
     # -- stages ---------------------------------------------------------------------
@@ -150,6 +189,9 @@ class HierarchicalOrchestrator:
 
     def _record(self, result: CampaignResult,
                 outcome: ExperimentOutcome) -> None:
+        if self.metrics is not None:
+            self._n_experiments.inc()
+            self._duration_hist.observe(outcome.finished - outcome.started)
         result.records.append(ExperimentRecord(
             index=len(result.records), params=dict(outcome.plan.params),
             valid=outcome.valid, objective=outcome.objective,

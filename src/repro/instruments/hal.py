@@ -10,19 +10,25 @@ agents never see vendor differences — the mechanism E6 evaluates.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
 from repro.instruments.base import OperationRequest
 from repro.instruments.errors import VendorError
 from repro.instruments.vendors import VendorProtocol
+from repro.obs.metrics import MetricsRegistry
 
 
 class HalAdapter:
     """Canonical-to-native translator for one instrument endpoint."""
 
-    def __init__(self, protocol: VendorProtocol) -> None:
+    def __init__(self, protocol: VendorProtocol,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.protocol = protocol
-        self.stats = {"requests": 0, "unsupported": 0}
+        metrics = metrics or MetricsRegistry()
+        self.stats = metrics.stats(
+            "hal.adapter", {"requests": 0, "unsupported": 0},
+            instrument=self.instrument_name, vendor=self.vendor,
+            site=protocol.instrument.site)
 
     @property
     def instrument_name(self) -> str:
@@ -60,12 +66,13 @@ class HardwareAbstractionLayer:
     owns the vendor mess.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics or MetricsRegistry()
         self._adapters: dict[str, HalAdapter] = {}
 
     def register(self, protocol: VendorProtocol) -> HalAdapter:
         """Wrap a vendor endpoint and make it addressable by name."""
-        adapter = HalAdapter(protocol)
+        adapter = HalAdapter(protocol, metrics=self.metrics)
         name = adapter.instrument_name
         if name in self._adapters:
             raise ValueError(f"instrument {name!r} already registered")

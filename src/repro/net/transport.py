@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.net.faults import FaultInjector
 from repro.net.topology import LOCAL_LINK, Topology
+from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.events import Event
@@ -46,6 +47,11 @@ class Network:
     faults:
         Optional :class:`FaultInjector`; when omitted a private, quiet one
         is created.
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry`; the
+        transfer counters and the ``net.transfer_latency`` histogram land
+        there (a private registry is created when omitted, keeping the
+        ``stats`` API identical either way).
 
     Notes
     -----
@@ -61,16 +67,18 @@ class Network:
 
     def __init__(self, sim: "Simulator", topology: Topology,
                  rng: np.random.Generator,
-                 faults: Optional[FaultInjector] = None) -> None:
+                 faults: Optional[FaultInjector] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
         self.topology = topology
         self.rng = rng
         self.faults = faults or FaultInjector(sim)
-        # Counters for the observability layer.
-        self.stats = {
+        self.metrics = metrics or MetricsRegistry()
+        self.stats = self.metrics.stats("net", {
             "transfers": 0, "bytes": 0.0, "lost": 0, "unreachable": 0,
             "total_latency": 0.0,
-        }
+        })
+        self.latency_hist = self.metrics.histogram("net.transfer_latency")
 
     # -- path/latency computation -------------------------------------------
 
@@ -136,6 +144,7 @@ class Network:
             ev.fail(PacketLost(f"{src} -> {dst} transfer dropped"), delay=delay)
             return ev
         self.stats["total_latency"] += delay
+        self.latency_hist.observe(delay)
         ev.succeed(delay, delay=delay)
         return ev
 

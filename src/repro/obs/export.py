@@ -1,0 +1,68 @@
+"""Trace and metrics export in stable, diff-able formats.
+
+Traces export as JSON-lines (one :class:`~repro.obs.trace.TraceEvent` per
+line) with sorted keys and fixed separators, so "same seed, same bytes"
+holds file-for-file.  Metrics export as a plain JSON snapshot, optionally
+filtered to one site — the form the benchmarks print.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+from repro.obs.trace import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+
+_JSON_KW = {"sort_keys": True, "separators": (",", ":"),
+            "ensure_ascii": True}
+
+
+def _event_obj(ev: TraceEvent) -> dict[str, Any]:
+    return {"seq": ev.seq, "t": ev.t, "kind": ev.kind, "name": ev.name,
+            "span": ev.span, "parent": ev.parent, "attrs": ev.attrs}
+
+
+def to_jsonl(events: "Iterable[TraceEvent] | Tracer") -> str:
+    """Serialize a trace (or a tracer's events) to JSON-lines text."""
+    events = getattr(events, "events", events)
+    lines = [json.dumps(_event_obj(ev), **_JSON_KW) for ev in events]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(events: "Iterable[TraceEvent] | Tracer", path: str) -> int:
+    """Write a JSON-lines trace to ``path``; returns the event count."""
+    text = to_jsonl(events)
+    with open(path, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(text)
+    return text.count("\n")
+
+
+def load_jsonl(path: str) -> list[TraceEvent]:
+    """Read a JSON-lines trace back into :class:`TraceEvent` objects."""
+    out: list[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            out.append(TraceEvent(seq=obj["seq"], t=obj["t"],
+                                  kind=obj["kind"], name=obj["name"],
+                                  span=obj.get("span"),
+                                  parent=obj.get("parent"),
+                                  attrs=obj.get("attrs", {})))
+    return out
+
+
+def metrics_snapshot(registry: "MetricsRegistry",
+                     site: Optional[str] = None, *,
+                     as_json: bool = False) -> "dict[str, Any] | str":
+    """Per-site (or global) metrics snapshot, optionally as JSON text."""
+    snap = registry.snapshot(site=site)
+    if as_json:
+        return json.dumps(snap, **_JSON_KW)
+    return snap

@@ -1,0 +1,239 @@
+"""Deterministic structured tracing over the simulated clock.
+
+A :class:`Tracer` records :class:`TraceEvent`\\ s stamped with *simulation*
+time and a monotonically increasing sequence number — never wall clock,
+never ``id()`` — so two runs from the same seed export byte-identical
+traces (the determinism contract in DESIGN.md extends to observability).
+
+Spans nest: the orchestrator wraps each campaign, experiment, and
+plan/verify/execute/evaluate phase in one, and the export replays a
+campaign as a span tree.  The default tracer everywhere is the no-op
+:data:`NULL_TRACER`, so untraced runs pay only a handful of attribute
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured record on a run's timeline.
+
+    Attributes
+    ----------
+    seq:
+        Monotonic sequence number (total order, breaks clock ties).
+    t:
+        Simulation time the event was emitted.
+    kind:
+        ``"span-start"``, ``"span-end"``, or ``"instant"``.
+    name:
+        What happened (``"campaign"``, ``"plan"``, ``"kernel.step"``, ...).
+    span:
+        Id of the span this event belongs to (``None`` outside any span).
+    parent:
+        Id of the enclosing span, for tree reconstruction.
+    attrs:
+        Free-form JSON-serializable details.
+    """
+
+    seq: int
+    t: float
+    kind: str
+    name: str
+    span: Optional[int] = None
+    parent: Optional[int] = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+class _Span:
+    """Context manager recording span-start/span-end around a block.
+
+    Works inside generator-based processes: simulation time advancing
+    across ``yield from`` within the block lands in the span's duration.
+    """
+
+    __slots__ = ("_tracer", "span_id", "name", "_t0")
+
+    def __init__(self, tracer: "Tracer", span_id: int, name: str) -> None:
+        self._tracer = tracer
+        self.span_id = span_id
+        self.name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = self._tracer.sim.now
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        attrs: dict[str, Any] = {"duration": tracer.sim.now - self._t0}
+        if exc_type is not None:
+            attrs["error"] = exc_type.__name__
+        tracer._end_span(self, attrs)
+        return False
+
+
+class Tracer:
+    """Collects a deterministic event stream for one simulated world.
+
+    Parameters
+    ----------
+    sim:
+        The kernel whose clock stamps every event.
+    run_id:
+        Caller-chosen identifier embedded in exports (pass something
+        seed-derived; wall-clock-derived ids would break determinism).
+    """
+
+    def __init__(self, sim: "Simulator", run_id: str = "run") -> None:
+        self.sim = sim
+        self.run_id = run_id
+        self.events: list[TraceEvent] = []
+        self._seq = 0
+        self._next_span = 1
+        self._stack: list[int] = []
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    @property
+    def current_span(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    # -- emission ----------------------------------------------------------
+
+    def _emit(self, kind: str, name: str, span: Optional[int],
+              parent: Optional[int], attrs: dict[str, Any]) -> TraceEvent:
+        ev = TraceEvent(seq=self._seq, t=self.sim.now, kind=kind, name=name,
+                        span=span, parent=parent, attrs=attrs)
+        self._seq += 1
+        self.events.append(ev)
+        return ev
+
+    def instant(self, name: str, /, **attrs: Any) -> TraceEvent:
+        """Record a point event inside the current span (if any)."""
+        parent = self._stack[-2] if len(self._stack) > 1 else None
+        return self._emit("instant", name, self.current_span, parent, attrs)
+
+    def span(self, name: str, /, **attrs: Any) -> _Span:
+        """Open a nested span: ``with tracer.span("plan"): ...``."""
+        span_id = self._next_span
+        self._next_span += 1
+        self._emit("span-start", name, span_id, self.current_span, attrs)
+        self._stack.append(span_id)
+        return _Span(self, span_id, name)
+
+    def _end_span(self, span: _Span, attrs: dict[str, Any]) -> None:
+        # Close any dangling children first (a break/raise mid-span).
+        while self._stack and self._stack[-1] != span.span_id:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        self._emit("span-end", span.name, span.span_id, self.current_span,
+                   attrs)
+
+    # -- kernel attachment -------------------------------------------------
+
+    def attach_kernel(self, sim: Optional["Simulator"] = None, *,
+                      schedule: bool = False) -> None:
+        """Trace every kernel step (and optionally every schedule).
+
+        Heavyweight on purpose — a microscope for short runs, not a
+        default.  Detach with :meth:`detach_kernel`.
+        """
+        sim = sim or self.sim
+        sim.step_hook = lambda t, ev: self.instant(
+            "kernel.step", event=type(ev).__name__)
+        if schedule:
+            sim.schedule_hook = lambda t, ev: self.instant(
+                "kernel.schedule", at=t, event=type(ev).__name__)
+
+    def detach_kernel(self, sim: Optional["Simulator"] = None) -> None:
+        sim = sim or self.sim
+        sim.step_hook = None
+        sim.schedule_hook = None
+
+    # -- replay helpers ----------------------------------------------------
+
+    def span_tree(self) -> list[dict[str, Any]]:
+        """Reconstruct the nested span structure from the event stream.
+
+        Returns the forest of root spans; each node carries ``name``,
+        ``start``, ``end``, ``duration``, ``attrs``, and ``children``.
+        """
+        nodes: dict[int, dict[str, Any]] = {}
+        roots: list[dict[str, Any]] = []
+        for ev in self.events:
+            if ev.kind == "span-start":
+                node = {"name": ev.name, "span": ev.span, "start": ev.t,
+                        "end": None, "duration": None, "attrs": dict(ev.attrs),
+                        "children": []}
+                nodes[ev.span] = node
+                parent = nodes.get(ev.parent)
+                (parent["children"] if parent else roots).append(node)
+            elif ev.kind == "span-end" and ev.span in nodes:
+                node = nodes[ev.span]
+                node["end"] = ev.t
+                node["duration"] = ev.attrs.get("duration", ev.t - node["start"])
+                node["attrs"].update(
+                    {k: v for k, v in ev.attrs.items() if k != "duration"})
+        return roots
+
+
+class _NullSpan:
+    """Reusable no-op span so untraced code pays one attribute lookup."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Do-nothing tracer with the :class:`Tracer` interface."""
+
+    __slots__ = ()
+
+    events: list[TraceEvent] = []
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    @property
+    def current_span(self) -> Optional[int]:
+        return None
+
+    def instant(self, name: str, /, **attrs: Any) -> None:
+        return None
+
+    def span(self, name: str, /, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def attach_kernel(self, sim: Optional["Simulator"] = None, *,
+                      schedule: bool = False) -> None:
+        return None
+
+    def detach_kernel(self, sim: Optional["Simulator"] = None) -> None:
+        return None
+
+    def span_tree(self) -> list[dict[str, Any]]:
+        return []
+
+
+#: Shared default tracer: observability off, overhead ~zero.
+NULL_TRACER = NullTracer()

@@ -16,6 +16,25 @@ from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
 
+class _CallbackEvent(Event):
+    """Event scheduled *untriggered* by :meth:`Simulator.schedule_callback`.
+
+    It resolves (ok/value set) only when the kernel pops it, so callbacks
+    appended between creation and firing observe a consistent
+    ``triggered == False`` until the moment it actually fires.
+    """
+
+    __slots__ = ("_deferred_value",)
+
+    def __init__(self, sim: "Simulator", value: Any) -> None:
+        super().__init__(sim)
+        self._deferred_value = value
+
+    def _resolve(self) -> None:
+        self._ok = True
+        self._value = self._deferred_value
+
+
 class StopSimulation(Exception):
     """Raised internally to halt :meth:`Simulator.run` early."""
 
@@ -59,6 +78,10 @@ class Simulator:
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        # Observability hooks (repro.obs): called as hook(time, event).
+        # ``None`` (the default) keeps untraced runs on the fast path.
+        self.step_hook: Optional[Callable[[float, Event], Any]] = None
+        self.schedule_hook: Optional[Callable[[float, Event], Any]] = None
 
     # -- clock ------------------------------------------------------------
 
@@ -101,15 +124,19 @@ class Simulator:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         heapq.heappush(self._queue, (self._now + delay, self._seq, event))
         self._seq += 1
+        if self.schedule_hook is not None:
+            self.schedule_hook(self._now + delay, event)
 
     def schedule_callback(
         self, delay: float, fn: Callable[[], Any], value: Any = None
     ) -> Event:
-        """Run ``fn`` after ``delay`` time units; returns the trigger event."""
-        ev = Event(self)
+        """Run ``fn`` after ``delay`` time units; returns the trigger event.
+
+        The event stays untriggered until it fires: anyone inspecting (or
+        waiting on) it in the meantime sees a consistent pending state.
+        """
+        ev = _CallbackEvent(self, value)
         ev.callbacks.append(lambda _ev: fn())
-        ev._ok = True
-        ev._value = value
         self._schedule(ev, delay)
         return ev
 
@@ -123,6 +150,13 @@ class Simulator:
             self._now, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
+
+        if event._ok is None:
+            # Only _CallbackEvent is ever scheduled untriggered: it
+            # becomes triggered at the moment it fires, not at creation.
+            event._resolve()
+        if self.step_hook is not None:
+            self.step_hook(self._now, event)
 
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None, "event processed twice"

@@ -1,0 +1,353 @@
+"""Fluent testbed builder — one readable chain instead of 8-kwarg wiring.
+
+Every example and benchmark used to copy-paste the same dance: construct
+a :class:`~repro.core.federation.FederationManager`, call ``add_lab`` with
+half a dozen keywords, then ``make_orchestrator`` with more.  The
+:class:`Testbed` facade replaces that with a declarative chain::
+
+    built = (Testbed(seed=42, n_sites=2)
+             .site("site-0")
+             .with_instruments(synthesis="flow", vendor="kelvin-sci")
+             .with_planner(mode="hierarchical")
+             .with_verification()
+             .build())
+    result = built.run(CampaignSpec(name="qd", objective_key="plqy",
+                                    max_experiments=60))
+
+Builders only *record* configuration; :meth:`Testbed.build` performs all
+construction in declaration order through the FederationManager, so a
+Testbed-built world is event-for-event identical to the hand-wired one on
+the same seed (covered by tests/obs/test_testbed.py).
+
+The old ``FederationManager`` / ``HierarchicalOrchestrator`` constructors
+keep working — the builder is sugar, not a fork.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.campaign import CampaignResult, CampaignSpec
+from repro.core.federation import FederationManager, LabSite
+from repro.core.knowledge import KnowledgeBase
+from repro.core.orchestrator import HierarchicalOrchestrator
+from repro.labsci import QuantumDotLandscape
+from repro.labsci.landscapes import Landscape
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.sim.kernel import Simulator
+
+
+def _default_landscape(site: str) -> Landscape:
+    return QuantumDotLandscape(seed=7)
+
+
+@dataclass
+class _SiteConfig:
+    """Recorded (not yet built) configuration for one laboratory."""
+
+    name: str
+    landscape_factory: Callable[[str], Landscape] = _default_landscape
+    synthesis_kind: str = "flow"
+    vendor: str = "aisle-ref"
+    planner_mode: str = "hierarchical"
+    hallucination_rate: float = 0.25
+    optimizer_factory: Optional[Callable[..., Any]] = None
+    safety_envelope: Optional[dict] = None
+    forbidden: Optional[list[dict]] = None
+    mtbf_hours: float = float("inf")
+    repair_time_s: float = 3600.0
+    verified: bool = True
+    fault_tolerant: bool = False
+    alternates: tuple[str, ...] = ()
+    share_knowledge: bool = True
+    extra_orchestrator_kw: dict[str, Any] = field(default_factory=dict)
+
+
+class SiteBuilder:
+    """Per-site fluent configuration; chain back with :meth:`site` or
+    finish with :meth:`build`."""
+
+    def __init__(self, testbed: "Testbed", config: _SiteConfig) -> None:
+        self._testbed = testbed
+        self._config = config
+
+    # -- lab hardware ------------------------------------------------------
+
+    def with_landscape(self,
+                       factory: "Callable[[str], Landscape] | Landscape",
+                       ) -> "SiteBuilder":
+        """Ground-truth science at this site (factory or instance)."""
+        if isinstance(factory, Landscape):
+            instance = factory
+            self._config.landscape_factory = lambda site: instance
+        else:
+            self._config.landscape_factory = factory
+        return self
+
+    def with_instruments(self, synthesis: str = "flow",
+                         vendor: str = "aisle-ref", *,
+                         mtbf_hours: float = float("inf"),
+                         repair_time_s: float = 3600.0) -> "SiteBuilder":
+        """Synthesis rig kind ("flow"/"batch"), vendor dialect, and MTBF."""
+        self._config.synthesis_kind = synthesis
+        self._config.vendor = vendor
+        self._config.mtbf_hours = mtbf_hours
+        self._config.repair_time_s = repair_time_s
+        return self
+
+    # -- agents ------------------------------------------------------------
+
+    def with_planner(self, mode: str = "hierarchical", *,
+                     hallucination_rate: float = 0.25) -> "SiteBuilder":
+        self._config.planner_mode = mode
+        self._config.hallucination_rate = hallucination_rate
+        return self
+
+    def with_optimizer(self, factory: Callable[..., Any]) -> "SiteBuilder":
+        """Optimizer factory ``(space, rng) -> AskTellOptimizer``."""
+        self._config.optimizer_factory = factory
+        return self
+
+    def with_safety(self, envelope: Optional[dict] = None,
+                    forbidden: Optional[list[dict]] = None) -> "SiteBuilder":
+        self._config.safety_envelope = envelope
+        self._config.forbidden = forbidden
+        return self
+
+    # -- orchestration -----------------------------------------------------
+
+    def with_verification(self, enabled: bool = True) -> "SiteBuilder":
+        """Vet every plan through the physics + twin stack (M8)."""
+        self._config.verified = enabled
+        return self
+
+    def without_verification(self) -> "SiteBuilder":
+        """The "agent usage without verification tools" arm of M8."""
+        return self.with_verification(False)
+
+    def with_fault_tolerance(self, *alternates: str) -> "SiteBuilder":
+        """Retry/repair/failover execution; name alternate sites to
+        fail over to (they must also be declared on this testbed)."""
+        self._config.fault_tolerant = True
+        self._config.alternates = tuple(alternates)
+        return self
+
+    def isolated(self) -> "SiteBuilder":
+        """Opt this site out of the shared knowledge base (the cold arm)."""
+        self._config.share_knowledge = False
+        return self
+
+    def with_orchestrator_options(self, **kw: Any) -> "SiteBuilder":
+        """Escape hatch: extra HierarchicalOrchestrator kwargs."""
+        self._config.extra_orchestrator_kw.update(kw)
+        return self
+
+    # -- chaining ----------------------------------------------------------
+
+    def site(self, name: str, **kw: Any) -> "SiteBuilder":
+        """Start configuring the next laboratory."""
+        return self._testbed.site(name, **kw)
+
+    def build(self) -> "BuiltTestbed":
+        return self._testbed.build()
+
+    def __getattr__(self, name: str) -> Any:
+        # Testbed-level toggles (with_mesh, secure, ...) chain through a
+        # site builder transparently, then return it for further chaining.
+        attr = getattr(self._testbed, name)
+        if callable(attr):
+            def forward(*args: Any, **kw: Any):
+                out = attr(*args, **kw)
+                return self if out is self._testbed else out
+            return forward
+        return attr
+
+
+class Testbed:
+    """Declarative builder for a federation of autonomous laboratories.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for every stochastic component.
+    n_sites:
+        Testbed topology size; defaults to the number of declared sites
+        (minimum 2) when omitted.
+    objective_key:
+        The measured property campaigns optimize.
+    sim:
+        Optional externally owned :class:`~repro.sim.kernel.Simulator`
+        (``Testbed(sim=sim)``); one is created when omitted.
+    """
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    def __init__(self, seed: int = 0, *, n_sites: Optional[int] = None,
+                 objective_key: str = "plqy",
+                 sim: Optional[Simulator] = None,
+                 wan_latency_s: float = 0.02) -> None:
+        self._seed = seed
+        self._n_sites = n_sites
+        self._objective_key = objective_key
+        self._sim = sim
+        self._wan_latency_s = wan_latency_s
+        self._secure = False
+        self._with_mesh = False
+        self._knowledge_policy: Optional[str] = None
+        self._metrics: Optional[MetricsRegistry] = None
+        self._tracer: Optional[Tracer] = None
+        self._sites: list[_SiteConfig] = []
+
+    # -- federation-level toggles -----------------------------------------
+
+    def secure(self, enabled: bool = True) -> "Testbed":
+        """Wire the zero-trust stack (identity, ABAC, gateway)."""
+        self._secure = enabled
+        return self
+
+    def with_mesh(self, enabled: bool = True) -> "Testbed":
+        """Attach a federated data-mesh node to every lab."""
+        self._with_mesh = enabled
+        return self
+
+    def with_knowledge(self, policy: str = "corrected") -> "Testbed":
+        """Share a knowledge base (M9) across all non-isolated sites."""
+        self._knowledge_policy = policy
+        return self
+
+    def with_metrics(self,
+                     registry: Optional[MetricsRegistry] = None) -> "Testbed":
+        """Collect all counters/histograms in one shared registry."""
+        self._metrics = registry if registry is not None else MetricsRegistry()
+        return self
+
+    def with_tracing(self, tracer: Optional[Tracer] = None) -> "Testbed":
+        """Trace every campaign as a span tree (see :mod:`repro.obs`).
+
+        When ``tracer`` is omitted one is created at :meth:`build` time,
+        bound to the built simulator, and exposed as ``built.tracer``.
+        """
+        self._tracer = tracer if tracer is not None else _DEFERRED_TRACER
+        return self
+
+    def wan_latency(self, latency_s: float) -> "Testbed":
+        self._wan_latency_s = latency_s
+        return self
+
+    # -- sites -------------------------------------------------------------
+
+    def site(self, name: str, *,
+             landscape: "Callable[[str], Landscape] | Landscape | None" = None,
+             ) -> SiteBuilder:
+        """Declare a laboratory at topology site ``name``."""
+        if any(cfg.name == name for cfg in self._sites):
+            raise ValueError(f"site {name!r} already declared")
+        config = _SiteConfig(name=name)
+        self._sites.append(config)
+        builder = SiteBuilder(self, config)
+        if landscape is not None:
+            builder.with_landscape(landscape)
+        return builder
+
+    # -- construction ------------------------------------------------------
+
+    def build(self) -> "BuiltTestbed":
+        """Construct the federation, labs, and orchestrators, in
+        declaration order (the determinism contract hinges on this)."""
+        if not self._sites:
+            raise ValueError("declare at least one site before build()")
+        n_sites = self._n_sites
+        if n_sites is None:
+            n_sites = max(2, len(self._sites))
+        tracer = self._tracer
+        fed = FederationManager(
+            seed=self._seed, n_sites=n_sites,
+            objective_key=self._objective_key, secure=self._secure,
+            with_mesh=self._with_mesh, wan_latency_s=self._wan_latency_s,
+            metrics=self._metrics, sim=self._sim,
+            tracer=None if tracer is _DEFERRED_TRACER else tracer)
+        if tracer is _DEFERRED_TRACER:
+            fed.tracer = Tracer(fed.sim, run_id=f"testbed-{self._seed}")
+
+        for cfg in self._sites:
+            fed.add_lab(cfg.name,
+                        landscape_factory=cfg.landscape_factory,
+                        synthesis_kind=cfg.synthesis_kind, vendor=cfg.vendor,
+                        planner_mode=cfg.planner_mode,
+                        hallucination_rate=cfg.hallucination_rate,
+                        optimizer_factory=cfg.optimizer_factory,
+                        safety_envelope=cfg.safety_envelope,
+                        forbidden=cfg.forbidden,
+                        mtbf_hours=cfg.mtbf_hours,
+                        repair_time_s=cfg.repair_time_s)
+
+        knowledge: Optional[KnowledgeBase] = None
+        if self._knowledge_policy is not None:
+            knowledge = fed.make_knowledge_base(policy=self._knowledge_policy)
+
+        orchestrators: dict[str, HierarchicalOrchestrator] = {}
+        for cfg in self._sites:
+            lab = fed.labs[cfg.name]
+            alternates = [fed.labs[alt] for alt in cfg.alternates]
+            kb = knowledge if cfg.share_knowledge else None
+            orchestrators[cfg.name] = fed.make_orchestrator(
+                lab, verified=cfg.verified, knowledge=kb,
+                fault_tolerant=cfg.fault_tolerant,
+                alternates=alternates or None,
+                **cfg.extra_orchestrator_kw)
+        return BuiltTestbed(fed, orchestrators, knowledge)
+
+
+#: Sentinel: "create a Tracer at build() time, bound to the built sim".
+_DEFERRED_TRACER: Tracer = object()  # type: ignore[assignment]
+
+
+class BuiltTestbed:
+    """The assembled world: federation, labs, and ready orchestrators."""
+
+    def __init__(self, fed: FederationManager,
+                 orchestrators: dict[str, HierarchicalOrchestrator],
+                 knowledge: Optional[KnowledgeBase]) -> None:
+        self.fed = fed
+        self.orchestrators = orchestrators
+        self.knowledge = knowledge
+
+    @property
+    def sim(self) -> Simulator:
+        return self.fed.sim
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.fed.metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.fed.tracer
+
+    @property
+    def labs(self) -> dict[str, LabSite]:
+        return self.fed.labs
+
+    def lab(self, site: Optional[str] = None) -> LabSite:
+        return self.fed.labs[self._pick(site)]
+
+    def orchestrator(self, site: Optional[str] = None,
+                     ) -> HierarchicalOrchestrator:
+        return self.orchestrators[self._pick(site)]
+
+    def _pick(self, site: Optional[str]) -> str:
+        if site is not None:
+            return site
+        if len(self.orchestrators) != 1:
+            raise ValueError(
+                f"multiple sites {sorted(self.orchestrators)}: name one")
+        return next(iter(self.orchestrators))
+
+    def run(self, spec: CampaignSpec,
+            site: Optional[str] = None) -> CampaignResult:
+        """Run one site's campaign to completion and return the result."""
+        orch = self.orchestrator(site)
+        proc = self.sim.process(orch.run_campaign(spec))
+        return self.sim.run(until=proc)

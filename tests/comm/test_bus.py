@@ -23,6 +23,23 @@ from repro.comm.bus import BrokerDown, topic_matches
     ("a.#.z", "a.z", True),
     ("a.#.z", "a.b.c.z", True),
     ("a.#.z", "a.b.c", False),
+    # '#' in the middle, repeatedly and adjacent to wildcards.
+    ("a.#.b.#.c", "a.x.b.y.z.c", True),
+    ("a.#.b.#.c", "a.b.c", True),
+    ("a.#.b.#.c", "a.c", False),
+    ("#.#", "a", True),
+    ("a.#.*", "a", False),
+    ("a.#.*", "a.b", True),
+    # Empty segments are literal segments, not holes in the grammar.
+    ("a..b", "a..b", True),
+    ("a..b", "a.b", False),
+    ("a.*", "a.", True),
+    ("", "", True),
+    ("", "a", False),
+    # Pattern longer than the topic can never match without '#'.
+    ("a.b.c.d", "a.b", False),
+    ("*.*.*", "a.b", False),
+    ("*.*", "a.b.c", False),
 ])
 def test_topic_matches(pattern, topic, expected):
     assert topic_matches(pattern, topic) is expected

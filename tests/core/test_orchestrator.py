@@ -3,9 +3,9 @@ federation builder, and the campaign/metrics accounting."""
 
 import pytest
 
-from repro.core import (CampaignResult, CampaignSpec, ExperimentRecord,
-                        FederationManager, experiments_to_target, speedup,
-                        time_to_target)
+from repro.core import (CampaignMetrics, CampaignResult, CampaignSpec,
+                        ExperimentRecord, FederationManager,
+                        experiments_to_target, speedup, time_to_target)
 from repro.core.metrics import reduction_fraction
 from repro.labsci import QuantumDotLandscape
 
@@ -79,6 +79,41 @@ def test_speedup_and_reduction():
     assert speedup(100.0, None) is None
     assert reduction_fraction(100.0, 60.0) == pytest.approx(0.4)
     assert reduction_fraction(None, 60.0) is None
+
+
+def test_campaign_metrics_from_result():
+    r = make_result([0.1, 0.3, 0.6, 0.9])
+    m = CampaignMetrics.from_result(r, target=0.5)
+    assert m.time_to_target == pytest.approx(30.0)
+    assert m.experiments_to_target == 3
+    assert m.duration == r.duration
+    assert m.n_experiments == 4
+    assert m.best_value == r.best_value
+    assert m.target == 0.5
+    dnf = CampaignMetrics.from_result(r, target=0.95)
+    assert dnf.time_to_target is None and dnf.experiments_to_target is None
+
+
+def test_campaign_metrics_target_defaults_to_spec():
+    r = make_result([0.1, 0.9])
+    r.spec = CampaignSpec(name="m", objective_key="o", target=0.5,
+                          max_experiments=2)
+    m = CampaignMetrics.from_result(r)
+    assert m.target == 0.5 and m.experiments_to_target == 2
+
+
+def test_campaign_metrics_comparisons():
+    slow = CampaignMetrics.from_result(make_result([0.1, 0.2, 0.3, 0.6]),
+                                       target=0.5)
+    fast = CampaignMetrics.from_result(make_result([0.6]), target=0.5)
+    assert fast.speedup_vs(slow) == pytest.approx(4.0)
+    assert fast.reduction_vs(slow) == pytest.approx(0.75)
+    # Raw-number baselines and DNF propagation.
+    assert fast.speedup_vs(20.0) == pytest.approx(2.0)
+    dnf = CampaignMetrics.from_result(make_result([0.1]), target=0.5)
+    assert dnf.speedup_vs(slow) is None
+    assert fast.speedup_vs(dnf) is None
+    assert fast.reduction_vs(None) is None
 
 
 # -- the hierarchical loop ---------------------------------------------------------------

@@ -1,0 +1,134 @@
+"""Tests for the metrics registry: counters, histograms, StatsDict."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, metrics_snapshot
+from repro.obs.metrics import Histogram, render_name
+
+
+# -- histogram --------------------------------------------------------------
+
+def test_histogram_quantiles_bounded_relative_error():
+    h = Histogram("lat")
+    samples = [0.001 * i for i in range(1, 1001)]  # 1ms .. 1s uniform
+    for x in samples:
+        h.observe(x)
+    assert h.count == 1000
+    assert h.mean == pytest.approx(sum(samples) / 1000)
+    # Geometric buckets: estimates within the growth factor of truth.
+    for q, truth in [(0.50, 0.5), (0.95, 0.95), (0.99, 0.99)]:
+        assert h.quantile(q) == pytest.approx(truth, rel=h.growth - 1)
+
+
+def test_histogram_quantiles_clamped_to_observed_range():
+    h = Histogram("lat")
+    for x in (0.2, 0.3, 0.4):
+        h.observe(x)
+    assert h.quantile(0.0) >= 0.2
+    assert h.quantile(1.0) <= 0.4
+    pcts = h.percentiles()
+    assert pcts["p50"] <= pcts["p95"] <= pcts["p99"]
+
+
+def test_histogram_single_sample_every_quantile_is_it():
+    h = Histogram("lat")
+    h.observe(0.125)
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert h.quantile(q) == pytest.approx(0.125)
+
+
+def test_empty_histogram_is_zero():
+    h = Histogram("lat")
+    assert h.quantile(0.5) == 0.0
+    assert h.mean == 0.0
+    assert h.summary()["count"] == 0
+
+
+def test_histogram_rejects_bad_config_and_quantile():
+    with pytest.raises(ValueError):
+        Histogram("x", lo=0.0)
+    with pytest.raises(ValueError):
+        Histogram("x", growth=1.0)
+    with pytest.raises(ValueError):
+        Histogram("x").quantile(1.5)
+
+
+def test_tiny_observations_land_in_first_bucket():
+    h = Histogram("lat", lo=1e-6)
+    h.observe(0.0)
+    h.observe(1e-9)
+    assert h.count == 2
+    assert h.quantile(0.5) == pytest.approx(0.0, abs=1e-6)
+
+
+# -- registry ---------------------------------------------------------------
+
+def test_registry_get_or_create_same_object():
+    reg = MetricsRegistry()
+    a = reg.counter("x", site="s0")
+    b = reg.counter("x", site="s0")
+    assert a is b
+    assert reg.counter("x", site="s1") is not a
+    assert reg.histogram("h") is reg.histogram("h")
+
+
+def test_registry_snapshot_filters_by_site():
+    reg = MetricsRegistry()
+    reg.counter("c", site="s0").inc(3)
+    reg.counter("c", site="s1").inc(5)
+    reg.gauge("g", site="s0").set(7)
+    reg.histogram("h", site="s1").observe(0.5)
+    snap0 = reg.snapshot(site="s0")
+    assert snap0["counters"] == {"c{site=s0}": 3}
+    assert snap0["gauges"] == {"g{site=s0}": 7}
+    assert snap0["histograms"] == {}
+    full = reg.snapshot()
+    assert set(full["counters"]) == {"c{site=s0}", "c{site=s1}"}
+
+
+def test_metrics_snapshot_json_is_deterministic():
+    reg = MetricsRegistry()
+    reg.counter("b").inc()
+    reg.counter("a").inc(2)
+    text = metrics_snapshot(reg, as_json=True)
+    assert json.loads(text)["counters"] == {"a": 2, "b": 1}
+    assert text == metrics_snapshot(reg, as_json=True)
+
+
+def test_render_name():
+    assert render_name("n", ()) == "n"
+    assert render_name("n", (("a", "1"), ("b", "2"))) == "n{a=1,b=2}"
+
+
+# -- StatsDict --------------------------------------------------------------
+
+def test_stats_dict_behaves_like_a_dict():
+    reg = MetricsRegistry()
+    stats = reg.stats("comp", {"sent": 0, "dropped": 0}, site="s0")
+    stats["sent"] += 2
+    stats["dropped"] = 1
+    assert stats["sent"] == 2
+    assert dict(stats) == {"sent": 2, "dropped": 1}
+    assert stats == {"sent": 2, "dropped": 1}
+    assert stats != {"sent": 0, "dropped": 1}
+    assert len(stats) == 2 and set(stats) == {"sent", "dropped"}
+    with pytest.raises(TypeError):
+        del stats["sent"]
+
+
+def test_stats_dict_values_visible_in_registry():
+    reg = MetricsRegistry()
+    stats = reg.stats("comp", {"sent": 0}, site="s0")
+    stats["sent"] += 4
+    assert reg.counter("comp.sent", site="s0").value == 4
+    assert reg.snapshot(site="s0")["counters"]["comp.sent{site=s0}"] == 4
+
+
+def test_stats_rebinding_keeps_existing_tallies():
+    reg = MetricsRegistry()
+    first = reg.stats("comp", {"sent": 0})
+    first["sent"] += 3
+    second = reg.stats("comp", {"sent": 0})  # same counters, not reset
+    assert second["sent"] == 3

@@ -1,0 +1,139 @@
+"""Tests for deterministic tracing: spans, kernel hooks, JSONL export."""
+
+from repro.core import CampaignSpec
+from repro.labsci import QuantumDotLandscape
+from repro.obs import (NULL_TRACER, Tracer, load_jsonl, to_jsonl,
+                       write_jsonl)
+from repro.sim import Simulator
+from repro.testbed import Testbed
+
+
+# -- span mechanics ---------------------------------------------------------
+
+def test_spans_nest_and_carry_sim_time(sim):
+    tracer = Tracer(sim)
+
+    def proc():
+        with tracer.span("outer", label="a"):
+            yield sim.timeout(5.0)
+            with tracer.span("inner"):
+                yield sim.timeout(2.0)
+            tracer.instant("mark", x=1)
+
+    p = sim.process(proc())
+    sim.run(until=p)
+    roots = tracer.span_tree()
+    assert len(roots) == 1
+    outer = roots[0]
+    assert outer["name"] == "outer"
+    assert outer["duration"] == 7.0
+    assert outer["attrs"]["label"] == "a"
+    (inner,) = outer["children"]
+    assert inner["name"] == "inner"
+    assert inner["start"] == 5.0 and inner["duration"] == 2.0
+    marks = [e for e in tracer.events if e.kind == "instant"]
+    assert marks[0].name == "mark" and marks[0].span == outer["span"]
+
+
+def test_span_records_error_on_exception(sim):
+    tracer = Tracer(sim)
+    try:
+        with tracer.span("boom"):
+            raise RuntimeError("x")
+    except RuntimeError:
+        pass
+    end = [e for e in tracer.events if e.kind == "span-end"][0]
+    assert end.attrs["error"] == "RuntimeError"
+
+
+def test_break_out_of_nested_spans_closes_children(sim):
+    tracer = Tracer(sim)
+    with tracer.span("outer"):
+        # Simulate a dangling child (generator abandoned mid-span).
+        tracer.span("dangling")
+    assert tracer.current_span is None
+    roots = tracer.span_tree()
+    assert roots[0]["name"] == "outer"
+    assert roots[0]["children"][0]["name"] == "dangling"
+
+
+def test_seq_is_monotonic_and_zero_based(sim):
+    tracer = Tracer(sim)
+    with tracer.span("a"):
+        tracer.instant("b")
+    assert [e.seq for e in tracer.events] == [0, 1, 2]
+
+
+def test_null_tracer_is_inert(sim):
+    with NULL_TRACER.span("x", a=1):
+        NULL_TRACER.instant("y")
+    assert NULL_TRACER.events == []
+    assert NULL_TRACER.span_tree() == []
+    assert not NULL_TRACER.enabled
+
+
+# -- kernel hooks -----------------------------------------------------------
+
+def test_attach_kernel_traces_steps_and_detaches():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.attach_kernel(schedule=True)
+
+    def proc():
+        yield sim.timeout(1.0)
+
+    p = sim.process(proc())
+    sim.run(until=p)
+    kinds = {e.name for e in tracer.events}
+    assert "kernel.step" in kinds and "kernel.schedule" in kinds
+    n = len(tracer.events)
+    tracer.detach_kernel()
+    sim.process(proc())
+    sim.run()
+    assert len(tracer.events) == n  # nothing recorded after detach
+
+
+def test_untraced_simulator_has_no_hooks():
+    sim = Simulator()
+    assert sim.step_hook is None and sim.schedule_hook is None
+
+
+# -- export + determinism ---------------------------------------------------
+
+def _traced_run():
+    built = (Testbed(seed=5)
+             .with_metrics()
+             .with_tracing()
+             .site("site-0", landscape=QuantumDotLandscape(seed=7))
+             .build())
+    spec = CampaignSpec(name="t", objective_key="plqy", max_experiments=6)
+    built.run(spec, site="site-0")
+    return built
+
+
+def test_two_seeded_runs_export_byte_identical_traces():
+    a, b = _traced_run(), _traced_run()
+    assert to_jsonl(a.tracer) == to_jsonl(b.tracer)
+    assert len(a.tracer.events) > 0
+
+
+def test_jsonl_roundtrip(tmp_path, sim):
+    tracer = Tracer(sim)
+    with tracer.span("s", k="v"):
+        tracer.instant("i", n=2)
+    path = str(tmp_path / "trace.jsonl")
+    n = write_jsonl(tracer, path)
+    assert n == len(tracer.events)
+    back = load_jsonl(path)
+    assert back == tracer.events  # frozen dataclasses compare by value
+
+
+def test_campaign_trace_has_expected_span_shape():
+    built = _traced_run()
+    (campaign,) = built.tracer.span_tree()
+    assert campaign["name"] == "campaign"
+    experiments = [c for c in campaign["children"]
+                   if c["name"] == "experiment"]
+    assert len(experiments) == 6
+    phases = [c["name"] for c in experiments[0]["children"]]
+    assert phases == ["plan", "verify", "execute", "evaluate"]

@@ -76,6 +76,17 @@ def test_schedule_callback_returns_waitable_event(sim):
     assert got == ["extra"]
 
 
+def test_schedule_callback_stays_untriggered_until_fired(sim):
+    # Regression: the event used to be marked ok at *creation*, so code
+    # inspecting it before the delay elapsed saw a triggered event.
+    ev = sim.schedule_callback(3.0, lambda: None, value="v")
+    assert not ev.triggered
+    sim.run(until=2.0)
+    assert not ev.triggered
+    sim.run(until=4.0)
+    assert ev.triggered and ev.ok and ev.value == "v"
+
+
 def test_or_of_failing_and_succeeding_event(sim):
     # AnyOf fails fast if the failing child fires first.
     caught = []

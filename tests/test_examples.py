@@ -57,3 +57,13 @@ def test_cross_facility_workflow_runs(capsys, monkeypatch):
     out = capsys.readouterr().out
     assert "critical path" in out
     assert "analysis verdict" in out
+
+
+def test_observability_tour_runs(capsys, monkeypatch):
+    # The example itself asserts its two seeded runs export byte-identical
+    # JSON-lines traces — the acceptance criterion for repro.obs.
+    _run_main("examples.observability_tour", monkeypatch)
+    out = capsys.readouterr().out
+    assert "span tree" in out
+    assert "byte-identical = True" in out
+    assert "latency histograms" in out
