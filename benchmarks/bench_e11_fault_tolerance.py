@@ -3,12 +3,23 @@
 Paper target: "federated cyberinfrastructure with standardized frameworks,
 fault-tolerant coordination mechanisms, and adaptive resource management".
 
-A campaign runs on flaky infrastructure — instrument MTBF of ~20
-operating hours-equivalent, a mid-campaign WAN partition, and a planner
-crash — with and without the fault-tolerance stack (retry/repair/failover
-executor + heartbeat supervisor).  Metric: experiments completed within a
-fixed simulated window, and campaign survival.
+Two measurements:
+
+1. ``test_e11_fault_tolerance`` — a campaign on flaky infrastructure
+   (short instrument MTBF, a mid-campaign WAN cut, a planner crash) with
+   and without the fault-tolerance stack; metric: experiments completed
+   in a fixed window, and campaign survival.
+2. ``test_e11_chaos_fault_rate_sweep`` — fault-tolerant campaigns under
+   :class:`~repro.resilience.ChaosController` instrument-fault storms of
+   increasing intensity; per rate it records completion rate, retries,
+   breaker trips, and p95 recovery latency, and emits ``BENCH_e11.json``
+   at the repo root.  Sweep size is tunable for CI smoke runs via
+   ``E11_SWEEP_BUDGET`` / ``E11_SWEEP_WINDOW_S`` / ``E11_SWEEP_RATES``.
 """
+
+import json
+import os
+from pathlib import Path
 
 from benchmarks.conftest import fmt, report
 from repro import Testbed
@@ -44,13 +55,9 @@ def _run(tolerant: bool, seed: int):
             sup.watch(agent)
         sup.start()
 
-    def gremlin():
-        yield fed.sim.timeout(WINDOW_S * 0.25)
-        fed.faults.fail_link("site-0", "site-1", duration=1800.0)
-        yield fed.sim.timeout(WINDOW_S * 0.25)
-        primary.planner.crash()
-
-    fed.sim.process(gremlin())
+    fed.chaos.cut_link("site-0", "site-1", at_s=WINDOW_S * 0.25,
+                       duration_s=1800.0)
+    fed.chaos.crash_agent(primary.planner, at_s=WINDOW_S * 0.5)
     spec = CampaignSpec(name=f"e11-{tolerant}", objective_key="plqy",
                         max_experiments=BUDGET)
     proc = fed.sim.process(orch.run_campaign(spec))
@@ -108,3 +115,101 @@ def test_e11_fault_tolerance(bench_once):
         "the baseline should die on at least one seed (else the fault " \
         "injection is too gentle to discriminate)"
     assert mean_done[True] > mean_done[False] * 1.5
+
+
+# -- chaos fault-rate sweep ----------------------------------------------------
+
+SWEEP_SEED = 4
+SWEEP_RATES = tuple(
+    float(r) for r in os.environ.get("E11_SWEEP_RATES", "0,2,6,12").split(","))
+SWEEP_BUDGET = int(os.environ.get("E11_SWEEP_BUDGET", "60"))
+SWEEP_WINDOW_S = float(os.environ.get("E11_SWEEP_WINDOW_S", 6 * 3600.0))
+SWEEP_REPAIR_S = 900.0
+
+
+def _sum_counters(snapshot: dict, prefix: str) -> float:
+    return sum(v for name, v in snapshot["counters"].items()
+               if name.startswith(prefix))
+
+
+def _run_sweep_point(rate_per_hour: float) -> dict:
+    built = (Testbed(seed=SWEEP_SEED, n_sites=3)
+             .site("site-0", landscape=lambda s: QuantumDotLandscape(seed=7))
+             .with_instruments(repair_time_s=SWEEP_REPAIR_S)
+             .with_fault_tolerance("site-1")
+             .site("site-1", landscape=lambda s: QuantumDotLandscape(seed=7))
+             .build())
+    fed = built.fed
+    primary = built.lab("site-0")
+    for agent in (primary.planner, primary.executor, primary.evaluator):
+        agent.start()
+
+    injected = built.chaos.instrument_fault_storm(
+        primary.instruments(), rate_per_hour=rate_per_hour,
+        until_s=SWEEP_WINDOW_S)
+
+    orch = built.orchestrator("site-0")
+    spec = CampaignSpec(name=f"e11-sweep-{rate_per_hour}",
+                        objective_key="plqy", max_experiments=SWEEP_BUDGET)
+    proc = fed.sim.process(orch.run_campaign(spec))
+    fed.sim.run(until=SWEEP_WINDOW_S)
+    if not proc.is_alive:
+        result = proc.value
+        if isinstance(result, BaseException):  # pragma: no cover
+            raise result
+        n_done = result.n_experiments
+    else:
+        proc.interrupt("window-over")
+        fed.sim.run(until=fed.sim.now + 1.0)
+        n_done = orch.evaluator.eval_stats["evaluated"]
+
+    snap = built.metrics.snapshot()
+    repair_hist = built.metrics.histogram("faulttol.repair_time",
+                                          site="site-0")
+    return {
+        "fault_rate_per_hour": rate_per_hour,
+        "faults_injected": injected,
+        "experiments_done": int(n_done),
+        "budget": SWEEP_BUDGET,
+        "completion_rate": n_done / SWEEP_BUDGET,
+        "retries": _sum_counters(snap, "resilience.call.retries"),
+        "breaker_trips": _sum_counters(snap, "resilience.breaker.trips"),
+        "repairs": _sum_counters(snap, "faulttol.repairs"),
+        "p95_recovery_latency_s": repair_hist.quantile(0.95),
+    }
+
+
+def test_e11_chaos_fault_rate_sweep(bench_once):
+    points = bench_once(lambda: [_run_sweep_point(r) for r in SWEEP_RATES])
+
+    report(
+        f"E11 sweep: fault-tolerant campaign vs chaos storm intensity "
+        f"({SWEEP_WINDOW_S / 3600:.0f} h window, budget {SWEEP_BUDGET})",
+        ["faults/h", "injected", "done", "completion", "retries",
+         "breaker trips", "p95 recovery (s)"],
+        [[fmt(p["fault_rate_per_hour"], 1), p["faults_injected"],
+          p["experiments_done"], fmt(p["completion_rate"], 2),
+          int(p["retries"]), int(p["breaker_trips"]),
+          fmt(p["p95_recovery_latency_s"], 1)] for p in points])
+
+    out = {
+        "experiment": "E11",
+        "description": "fault-tolerant campaign under chaos-controller "
+                       "instrument fault storms",
+        "seed": SWEEP_SEED,
+        "window_s": SWEEP_WINDOW_S,
+        "budget": SWEEP_BUDGET,
+        "repair_time_s": SWEEP_REPAIR_S,
+        "sweep": points,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_e11.json"
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+
+    calm = points[0]
+    assert calm["fault_rate_per_hour"] == 0.0
+    assert calm["faults_injected"] == 0
+    stormy = points[-1]
+    assert stormy["faults_injected"] > 0
+    # The fault-tolerance stack must keep making progress under the storm.
+    assert stormy["experiments_done"] > 0
+    assert stormy["completion_rate"] <= calm["completion_rate"] + 1e-9

@@ -32,16 +32,10 @@ def main() -> None:
         supervisor.watch(agent)
     supervisor.start()
 
-    # Scripted adversity.
-    def gremlin():
-        yield fed.sim.timeout(900.0)
-        print(f"[{fed.sim.now:8.0f}s] gremlin: cutting site-0 <-> site-1 link")
-        fed.faults.fail_link("site-0", "site-1", duration=600.0)
-        yield fed.sim.timeout(600.0)
-        print(f"[{fed.sim.now:8.0f}s] gremlin: crashing the planner agent")
-        primary.planner.crash()
-
-    fed.sim.process(gremlin())
+    # Scripted adversity, declared up front through the chaos controller
+    # (no hand-rolled gremlin process).
+    fed.chaos.cut_link("site-0", "site-1", at_s=900.0, duration_s=600.0)
+    fed.chaos.crash_agent(primary.planner, at_s=1500.0)
 
     spec = CampaignSpec(name="resilient", objective_key="plqy",
                         max_experiments=80)
@@ -51,6 +45,9 @@ def main() -> None:
     print("\n=== campaign under fire ===")
     for key, value in result.summary().items():
         print(f"  {key:>16}: {value}")
+    print("\nchaos injections:")
+    for t, kind, detail in fed.chaos.log:
+        print(f"  [{t:8.0f}s] {kind:<14} {detail[:60]}")
     ft = orch.fault_tolerant
     print("\nfault-tolerance events:")
     for t, kind, detail in ft.events[:12]:

@@ -19,11 +19,14 @@ Everything runs on the shared discrete-event kernel in :mod:`repro.sim`;
 synthetic ground-truth science lives in :mod:`repro.labsci`.
 """
 
+from repro.resilience import (ChaosController, CircuitBreaker, Deadline,
+                              RetryPolicy, resilient_call)
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.testbed import BuiltTestbed, SiteBuilder, Testbed
 
-__all__ = ["BuiltTestbed", "RngRegistry", "Simulator", "SiteBuilder",
-           "Testbed", "__version__"]
+__all__ = ["BuiltTestbed", "ChaosController", "CircuitBreaker", "Deadline",
+           "RetryPolicy", "RngRegistry", "Simulator", "SiteBuilder",
+           "Testbed", "__version__", "resilient_call"]
 
 __version__ = "1.0.0"

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Any, Optional
 
 from repro.comm.message import Envelope, Message
 from repro.obs.metrics import MetricsRegistry
+from repro.resilience import RetryPolicy
 from repro.sim.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -60,15 +61,24 @@ def topic_matches(pattern: str, topic: str) -> bool:
 
 
 class Queue:
-    """A named broker-side queue with ack/nack redelivery semantics."""
+    """A named broker-side queue with ack/nack redelivery semantics.
+
+    Redelivery follows a :class:`~repro.resilience.RetryPolicy`: the
+    attempt budget decides when a message is dead-lettered, and any
+    non-zero backoff in the policy delays the requeue on the simulated
+    clock (the default policy redelivers immediately, the classic AMQP
+    behaviour).
+    """
 
     def __init__(self, sim: "Simulator", name: str,
                  max_attempts: int = 5,
                  metrics: Optional[MetricsRegistry] = None,
-                 site: str = "") -> None:
+                 site: str = "",
+                 redelivery: Optional[RetryPolicy] = None) -> None:
         self.sim = sim
         self.name = name
-        self.max_attempts = max_attempts
+        self.redelivery = redelivery or RetryPolicy.immediate(max_attempts)
+        self.max_attempts = self.redelivery.max_attempts
         self._store: Store = Store(sim)
         self._unacked: dict[int, Envelope] = {}
         self.dead_letters: list[Envelope] = []
@@ -110,11 +120,19 @@ class Queue:
         """Reject; requeue for redelivery (or dead-letter after too many)."""
         self._unacked.pop(envelope.message.msg_id, None)
         self.stats["nacked"] += 1
-        if not requeue or envelope.attempt >= self.max_attempts:
+        if not requeue or not self.redelivery.should_retry(envelope.attempt):
             self.dead_letters.append(envelope)
             self.stats["dead"] += 1
             return
+        delay = self.redelivery.delay(envelope.attempt)
         envelope.attempt += 1
+        if delay > 0:
+            self.sim.schedule_callback(delay,
+                                       lambda: self._requeue(envelope))
+        else:
+            self._requeue(envelope)
+
+    def _requeue(self, envelope: Envelope) -> None:
         self._store.put(envelope)
         self._depth.set(len(self._store))
 
@@ -141,10 +159,12 @@ class Broker:
             "bus.broker", {"published": 0, "routed": 0, "unroutable": 0},
             broker=name, site=site)
 
-    def declare_queue(self, name: str, max_attempts: int = 5) -> Queue:
+    def declare_queue(self, name: str, max_attempts: int = 5,
+                      redelivery: Optional[RetryPolicy] = None) -> Queue:
         if name not in self.queues:
             self.queues[name] = Queue(self.sim, name, max_attempts,
-                                      metrics=self.metrics, site=self.site)
+                                      metrics=self.metrics, site=self.site,
+                                      redelivery=redelivery)
         return self.queues[name]
 
     def bind(self, queue_name: str, pattern: str) -> None:

@@ -5,6 +5,11 @@ An :class:`RpcServer` exposes named methods at a site; an
 deadline (client-observed), bounded retries with exponential backoff, and
 optional zero-trust verification of *every* call — the M10/M11 middleware
 semantics.
+
+Reliability mechanics (deadline accounting, backoff arithmetic, the
+attempt race against the clock) live in :mod:`repro.resilience`; this
+module only maps them onto RPC error types and the client's public
+``stats`` keys.
 """
 
 from __future__ import annotations
@@ -17,12 +22,13 @@ from repro.comm.message import Envelope, Message, Performative
 from repro.comm.serialization import estimate_size
 from repro.net.transport import NetworkError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
+from repro.resilience import (Deadline, DeadlineExceeded, RetriesExhausted,
+                              RetryPolicy, resilient_call)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.transport import Network
     from repro.sim.kernel import Simulator
-
-_call_ids = itertools.count(1)
 
 
 class RpcError(Exception):
@@ -124,12 +130,22 @@ class RpcClient:
         Optional shared :class:`~repro.obs.metrics.MetricsRegistry`; call
         counters and the per-site ``rpc.call_latency`` histogram report
         into it (E4 reads its p50/p95/p99 straight from the registry).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; each call attempt then
+        runs inside a ``resilience.attempt`` span.
+
+    Notes
+    -----
+    Call ids are **per client** (``itertools.count`` on the instance, not
+    the module), so two same-seed federations built in one process stamp
+    identical conversation ids and trace identically.
     """
 
     def __init__(self, sim: "Simulator", network: "Network", site: str,
                  identity: str = "client", gateway: Any = None,
                  token: Optional[str] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Any = NULL_TRACER) -> None:
         self.sim = sim
         self.network = network
         self.site = site
@@ -137,6 +153,7 @@ class RpcClient:
         self.gateway = gateway
         self.token = token
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer
         self.stats = self.metrics.stats(
             "rpc.client",
             {"calls": 0, "retries": 0, "timeouts": 0,
@@ -144,6 +161,7 @@ class RpcClient:
         self.latency_hist = self.metrics.histogram("rpc.call_latency",
                                                    site=site)
         self.latencies: list[float] = []
+        self._call_ids = itertools.count(1)
 
     def call(self, server: RpcServer, method: str, payload: Any = None,
              *, deadline_s: float = 5.0, retries: int = 2,
@@ -155,51 +173,47 @@ class RpcClient:
         retries) and propagates server-side :class:`RpcError`.
         """
         self.stats["calls"] += 1
+        call_id = next(self._call_ids)
         start = self.sim.now
-        deadline = start + deadline_s
-        attempt = 0
-        last_exc: Optional[Exception] = None
-        while self.sim.now < deadline and attempt <= retries:
-            attempt += 1
-            if attempt > 1:
-                self.stats["retries"] += 1
-                pause = min(backoff_s * (2 ** (attempt - 2)),
-                            max(0.0, deadline - self.sim.now))
-                if pause > 0:
-                    yield self.sim.timeout(pause)
-            work = self.sim.process(
-                self._attempt(server, method, payload))
-            timeout = self.sim.timeout(max(0.0, deadline - self.sim.now))
-            try:
-                result = yield work | timeout
-            except (NetworkError, ServerDown) as exc:
-                last_exc = exc
-                continue  # transient failure: retry until budget exhausted
-            if work in result:
-                latency = self.sim.now - start
-                self.stats["total_latency"] += latency
-                self.latency_hist.observe(latency)
-                self.latencies.append(latency)
-                return result[work]
-            # Deadline fired first; detach from the in-flight attempt and
-            # absorb its eventual interrupt-failure quietly.
-            if work.is_alive:
-                work.interrupt("deadline")
-                if work.callbacks is not None:
-                    work.callbacks.append(
-                        lambda ev: setattr(ev, "_defused", True))
+        policy = RetryPolicy(retries + 1, base_delay_s=backoff_s)
+        deadline = Deadline(self.sim, deadline_s)
+
+        def on_retry(_attempt: int, _exc: Optional[BaseException]) -> None:
+            self.stats["retries"] += 1
+
+        try:
+            result = yield from resilient_call(
+                self.sim,
+                lambda _n: self._attempt(server, method, payload, call_id),
+                policy=policy, deadline=deadline,
+                retry_on=(NetworkError, ServerDown),
+                name=f"rpc.{server.name}.{method}",
+                tracer=self.tracer, metrics=self.metrics,
+                on_retry=on_retry)
+        except DeadlineExceeded:
             self.stats["timeouts"] += 1
             raise RpcTimeout(
-                f"{server.name}.{method} deadline after {deadline_s}s")
-        self.stats["timeouts"] += 1
-        detail = f" (last error: {last_exc})" if last_exc is not None else ""
-        raise RpcTimeout(
-            f"{server.name}.{method} deadline after {deadline_s}s{detail}")
+                f"{server.name}.{method} deadline after {deadline_s}s"
+            ) from None
+        except RetriesExhausted as exc:
+            self.stats["timeouts"] += 1
+            detail = (f" (last error: {exc.last_error})"
+                      if exc.last_error is not None else "")
+            raise RpcTimeout(
+                f"{server.name}.{method} deadline after {deadline_s}s{detail}"
+            ) from None
+        latency = self.sim.now - start
+        self.stats["total_latency"] += latency
+        self.latency_hist.observe(latency)
+        self.latencies.append(latency)
+        return result
 
-    def _attempt(self, server: RpcServer, method: str, payload: Any):
+    def _attempt(self, server: RpcServer, method: str, payload: Any,
+                 call_id: int):
         req = Message(performative=Performative.REQUEST,
                       sender=self.identity, recipient=server.name,
-                      payload={"method": method, "args": payload})
+                      payload={"method": method, "args": payload},
+                      conversation_id=f"{self.identity}/{call_id}")
         env = Envelope(message=req, src_site=self.site, dst_site=server.site,
                        token=self.token, enqueued_at=self.sim.now)
         yield self.network.send(self.site, server.site, env.size_bytes())
@@ -217,21 +231,39 @@ class RpcClient:
                              retry_exceptions: tuple = (NetworkError,),
                              deadline_s: float = 5.0, retries: int = 2,
                              backoff_s: float = 0.05):
-        """Like :meth:`call` but retries on transient transport failures."""
-        attempt = 0
-        while True:
-            attempt += 1
+        """Like :meth:`call` but retries on transient transport failures.
+
+        Each attempt is a full :meth:`call` with its own (fresh) deadline;
+        ``retry_exceptions`` consume the retry budget, everything else
+        propagates immediately.
+        """
+        policy = RetryPolicy(retries + 1, base_delay_s=backoff_s)
+
+        def attempt(_n: int):
             try:
                 result = yield from self.call(
                     server, method, payload, deadline_s=deadline_s,
                     retries=0, backoff_s=backoff_s)
-                return result
-            except retry_exceptions as exc:
+            except retry_exceptions:
                 self.stats["failures"] += 1
-                if attempt > retries:
-                    raise
-                self.stats["retries"] += 1
-                yield self.sim.timeout(backoff_s * (2 ** (attempt - 1)))
+                raise
+            return result
+
+        def on_retry(_attempt: int, _exc: Optional[BaseException]) -> None:
+            self.stats["retries"] += 1
+
+        try:
+            result = yield from resilient_call(
+                self.sim, attempt, policy=policy,
+                retry_on=retry_exceptions,
+                name=f"rpc.{server.name}.{method}.outer",
+                tracer=self.tracer, metrics=self.metrics,
+                on_retry=on_retry)
+        except RetriesExhausted as exc:
+            if exc.last_error is not None:
+                raise exc.last_error
+            raise
+        return result
 
     def mean_latency(self) -> float:
         return (self.stats["total_latency"] / len(self.latencies)

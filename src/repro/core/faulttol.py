@@ -4,13 +4,18 @@ Wraps an executor with the "adaptive fault-tolerant coordination
 mechanisms" the roadmap calls for:
 
 - **retry with repair**: on an instrument fault, dispatch repair and
-  retry the plan (bounded attempts);
+  retry the plan (bounded attempts under a
+  :class:`~repro.resilience.RetryPolicy`);
 - **failover**: if alternate executors are registered (another site's
-  identical rig), re-route the plan there while repair proceeds;
+  identical rig), re-route the plan there while repair proceeds; the
+  primary route is guarded by a :class:`~repro.resilience.CircuitBreaker`
+  so repeatedly-faulting hardware is quarantined instead of re-tried;
 - **supervision**: agent crashes are already covered by
   :class:`repro.agents.lifecycle.Supervisor`; this class handles the
   hardware side.
 
+The attempt loop itself is :func:`repro.resilience.resilient_call` —
+this class only contributes route selection and repair scheduling.
 Without fault tolerance, a single instrument fault ends the campaign
 (the ``HierarchicalOrchestrator`` lets :class:`InstrumentFault`
 propagate) — that contrast is E11.
@@ -25,6 +30,9 @@ from repro.agents.planner import ExperimentPlan
 from repro.instruments.base import Instrument, InstrumentStatus
 from repro.instruments.errors import InstrumentFault
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
+from repro.resilience import (CircuitBreaker, RetriesExhausted, RetryPolicy,
+                              resilient_call)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.kernel import Simulator
@@ -45,23 +53,45 @@ class FaultTolerantExecutor:
     alternates:
         Executors at other sites that can run the same plan.
     max_attempts:
-        Total execution attempts per plan across all routes.
+        Total execution attempts per plan across all routes (ignored when
+        ``retry_policy`` is given).
     metrics:
         Optional shared :class:`~repro.obs.metrics.MetricsRegistry` the
         fault-handling counters and repair-time histogram report into.
+    retry_policy:
+        Optional explicit attempt policy (defaults to ``max_attempts``
+        immediate retries — repair time, not backoff, paces the loop).
+    breaker:
+        Optional shared breaker guarding the primary route; one is built
+        when omitted (two consecutive primary faults quarantine it for
+        ``breaker_recovery_s``).  Only consulted when alternates exist —
+        with a single route there is nothing to re-route to.
+    breaker_recovery_s:
+        Quarantine window for the default primary-route breaker.
+    tracer:
+        Optional tracer; attempts run inside ``resilience.attempt`` spans.
     """
 
     def __init__(self, sim: "Simulator", primary: ExecutorAgent,
                  primary_instruments: Optional[list[Instrument]] = None,
                  alternates: Optional[list[ExecutorAgent]] = None,
                  max_attempts: int = 3,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 breaker_recovery_s: float = 900.0,
+                 tracer=NULL_TRACER) -> None:
         self.sim = sim
         self.primary = primary
         self.primary_instruments = list(primary_instruments or [])
         self.alternates = list(alternates or [])
-        self.max_attempts = max_attempts
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer
+        self.retry_policy = retry_policy or RetryPolicy.immediate(max_attempts)
+        self.max_attempts = self.retry_policy.max_attempts
+        self.breaker = breaker or CircuitBreaker(
+            sim, failure_threshold=2, recovery_time_s=breaker_recovery_s,
+            name=f"faulttol.{primary.site}", metrics=self.metrics)
         self.stats = self.metrics.stats(
             "faulttol",
             {"attempts": 0, "faults_handled": 0, "repairs": 0,
@@ -91,39 +121,65 @@ class FaultTolerantExecutor:
         """Dispatch repair without blocking the campaign (failover mode)."""
         self.sim.process(self._repair_faulted())
 
+    # -- route selection -------------------------------------------------------
+
+    def _select_route(self) -> ExecutorAgent:
+        """Primary unless it is down or quarantined and an alternate is up."""
+        if self.alternates and (self._primary_down()
+                                or not self.breaker.allow()):
+            alternate = self._pick_alternate()
+            if alternate is not None:
+                self.stats["failovers"] += 1
+                self.events.append(
+                    (self.sim.now, "failover", alternate.site))
+                return alternate
+        return self.primary
+
+    def _attempt(self, plan: ExperimentPlan):
+        self.stats["attempts"] += 1
+        route = self._select_route()
+        try:
+            outcome = yield from route.execute(plan)
+        except InstrumentFault as exc:
+            self.stats["faults_handled"] += 1
+            self.events.append((self.sim.now, "fault", str(exc)))
+            if route is self.primary:
+                self.breaker.record_failure()
+                if self.alternates:
+                    # Fail over next attempt; fix the primary meanwhile.
+                    self._start_background_repair()
+            raise
+        if route is self.primary:
+            self.breaker.record_success()
+        return outcome
+
+    def _recover(self, _exc, _next_attempt):
+        """Between attempts: without an alternate, the campaign waits out
+        the repair before the plan is retried."""
+        if not self.alternates:
+            yield from self._repair_faulted()
+
+    # -- execution -------------------------------------------------------------
+
     def execute(self, plan: ExperimentPlan):
         """Generator: run a plan with fault handling; returns the outcome.
 
         Raises :class:`InstrumentFault` only after every route and
         attempt is exhausted.
         """
-        last_fault: Optional[InstrumentFault] = None
-        for attempt in range(1, self.max_attempts + 1):
-            self.stats["attempts"] += 1
-            # Route: primary unless it is down and an alternate is up.
-            route = self.primary
-            if self._primary_down() and self.alternates:
-                route = self._pick_alternate() or self.primary
-                if route is not self.primary:
-                    self.stats["failovers"] += 1
-                    self.events.append(
-                        (self.sim.now, "failover", route.site))
-            try:
-                outcome = yield from route.execute(plan)
-                return outcome
-            except InstrumentFault as exc:
-                last_fault = exc
-                self.stats["faults_handled"] += 1
-                self.events.append((self.sim.now, "fault", str(exc)))
-                if route is self.primary:
-                    if self.alternates:
-                        # Fail over now; fix the primary in the background.
-                        self._start_background_repair()
-                    else:
-                        # No alternate: the campaign waits out the repair.
-                        yield from self._repair_faulted()
-        self.stats["gave_up"] += 1
-        raise last_fault or InstrumentFault("execution failed")
+        try:
+            outcome: ExperimentOutcome = yield from resilient_call(
+                self.sim, lambda _n: self._attempt(plan),
+                policy=self.retry_policy,
+                retry_on=(InstrumentFault,),
+                recover=self._recover,
+                name=f"faulttol.{self.primary.site}",
+                tracer=self.tracer, metrics=self.metrics)
+        except RetriesExhausted as exc:
+            self.stats["gave_up"] += 1
+            raise (exc.last_error
+                   or InstrumentFault("execution failed")) from None
+        return outcome
 
     def _primary_down(self) -> bool:
         return any(inst.status in (InstrumentStatus.FAULT,

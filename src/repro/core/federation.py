@@ -39,6 +39,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.net.topology import Topology
 from repro.net.transport import Network
+from repro.resilience import ChaosController
 from repro.security.abac import (PolicyEngine, allow_all_within_federation,
                                  standard_lab_policy)
 from repro.security.identity import (FederatedIdentityProvider, Identity,
@@ -138,6 +139,8 @@ class FederationManager:
         self.topology = Topology.national_lab_testbed(
             n_sites, latency_s=wan_latency_s, jitter_s=wan_latency_s / 10.0)
         self.faults = FaultInjector(self.sim)
+        self.chaos = ChaosController(self.sim, self.faults,
+                                     rngs=self.rngs, metrics=self.metrics)
         self.network = Network(self.sim, self.topology,
                                self.rngs.stream("net"), self.faults,
                                metrics=self.metrics)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.instruments.base import Instrument, InstrumentStatus
+from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.kernel import Simulator
@@ -28,17 +29,23 @@ class MaintenanceAgent:
         QA sweep period.
     bias_tolerance:
         Absolute drift beyond which recalibration is dispatched.
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry`; the
+        public :attr:`stats` mapping is a registry-backed view either way.
     """
 
     def __init__(self, sim: "Simulator", *, check_interval_s: float = 3600.0,
-                 bias_tolerance: float = 0.05) -> None:
+                 bias_tolerance: float = 0.05,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
         self.check_interval_s = check_interval_s
         self.bias_tolerance = bias_tolerance
         self._fleet: list[Instrument] = []
         self._in_progress: set[str] = set()
         self.events: list[tuple[float, str, str]] = []
-        self.stats = {"sweeps": 0, "calibrations": 0}
+        self.metrics = metrics or MetricsRegistry()
+        self.stats = self.metrics.stats(
+            "maintenance", {"sweeps": 0, "calibrations": 0})
         self._proc = None
 
     def watch(self, instrument: Instrument) -> None:

@@ -34,7 +34,7 @@ class Unreachable(NetworkError):
 
 
 class Network:
-    """The simulated internetwork connecting AISLE sites.
+    r"""The simulated internetwork connecting AISLE sites.
 
     Parameters
     ----------
@@ -55,10 +55,13 @@ class Network:
 
     Notes
     -----
-    Delivery time for an ``n``-hop path of links :math:`l_i` is
+    Delivery time for an ``n``-hop path of links :math:`l_1 \dots l_n` is
 
-    .. math:: \\sum_i \\left( \\text{latency}_i + \\frac{\\text{size}}{\\text{bandwidth}_i}
-              + \\max(0, \\mathcal{N}(0, \\text{jitter}_i)) \\right)
+    .. math::
+
+       T(\text{size}) = \sum_{i=1}^{n} \left( \text{latency}_i
+           + \frac{\text{size}}{\text{bandwidth}_i}
+           + \max\bigl(0,\, \mathcal{N}(0, \text{jitter}_i^2)\bigr) \right)
 
     which captures store-and-forward serialization per hop without
     modelling queueing contention (adequate for the latency-scale claims

@@ -1,0 +1,47 @@
+"""Unified resilience kernel: retry, deadline, breaker, and chaos (M3/M11).
+
+The paper's "adaptive fault-tolerant coordination" (M3) and "automatic
+failover" (M11) used to be reproduced by five independent reliability
+loops, each with its own backoff arithmetic and attempt accounting.
+This package is the single deterministic policy engine they all share:
+
+- :mod:`repro.resilience.policy` —
+  :class:`~repro.resilience.policy.RetryPolicy` (exponential backoff,
+  deterministic jitter from named RNG streams),
+  :class:`~repro.resilience.policy.Deadline` (monotone sim-clock budget),
+  and :class:`~repro.resilience.policy.CircuitBreaker`
+  (closed/open/half-open, driven by sim time);
+- :mod:`repro.resilience.executor` —
+  :func:`~repro.resilience.executor.resilient_call`, the generator
+  combinator wrapping any sim-process callable with policy + breaker +
+  per-attempt tracing spans and registry counters;
+- :mod:`repro.resilience.faults` —
+  :class:`~repro.resilience.faults.ChaosController`, one scenario API
+  over network, instrument, and agent failure injection.
+
+Consumers: :class:`~repro.comm.rpc.RpcClient` call retries,
+:class:`~repro.comm.bus.Queue` redelivery,
+:class:`~repro.comm.failover.FailoverGroup` routing,
+:class:`~repro.core.faulttol.FaultTolerantExecutor` repair/failover, and
+:class:`~repro.agents.lifecycle.Supervisor` restart delays.
+"""
+
+from repro.resilience.executor import (DeadlineExceeded, RetriesExhausted,
+                                       resilient_call)
+from repro.resilience.faults import ChaosController
+from repro.resilience.policy import (UNLIMITED_ATTEMPTS, CircuitBreaker,
+                                     CircuitOpen, CircuitState, Deadline,
+                                     RetryPolicy)
+
+__all__ = [
+    "ChaosController",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "CircuitState",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "UNLIMITED_ATTEMPTS",
+    "resilient_call",
+]

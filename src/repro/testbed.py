@@ -327,6 +327,11 @@ class BuiltTestbed:
         return self.fed.tracer
 
     @property
+    def chaos(self):
+        """The federation's :class:`~repro.resilience.ChaosController`."""
+        return self.fed.chaos
+
+    @property
     def labs(self) -> dict[str, LabSite]:
         return self.fed.labs
 

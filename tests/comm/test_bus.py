@@ -229,3 +229,37 @@ def test_bind_unknown_queue_rejected(sim, network):
     _, broker = make_bus(sim, network)
     with pytest.raises(KeyError):
         broker.bind("ghost", "t")
+
+
+# -- exhaustive small-alphabet equivalence for topic_matches -------------------
+
+def _all_words(alphabet, max_len):
+    words = []
+    frontier = [()]
+    for _ in range(max_len):
+        frontier = [w + (s,) for w in frontier for s in alphabet]
+        words.extend(frontier)
+    return words
+
+
+def test_topic_matches_equals_regex_reference_exhaustively():
+    """Compare against a compiled-regex oracle over every pattern/topic
+    up to 4 segments on the {a, b, *, #} alphabet (10 200 pairs).
+
+    Each segment is a single character, so a topic maps faithfully to its
+    concatenated characters and a pattern to a regex over them:
+    ``a -> a``, ``b -> b``, ``* -> [ab]`` (exactly one segment),
+    ``# -> [ab]*`` (zero or more segments).
+    """
+    import re
+
+    seg_regex = {"a": "a", "b": "b", "*": "[ab]", "#": "[ab]*"}
+    patterns = _all_words(("a", "b", "*", "#"), 4)
+    topics = _all_words(("a", "b"), 4)
+    for pat_segs in patterns:
+        oracle = re.compile("".join(seg_regex[s] for s in pat_segs))
+        pattern = ".".join(pat_segs)
+        for top_segs in topics:
+            expected = oracle.fullmatch("".join(top_segs)) is not None
+            got = topic_matches(pattern, ".".join(top_segs))
+            assert got == expected, (pattern, ".".join(top_segs))

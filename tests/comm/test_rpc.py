@@ -156,3 +156,30 @@ def test_latency_stats_accumulate(sim, server, client):
     sim.run()
     assert len(client.latencies) == 3
     assert client.stats["total_latency"] == pytest.approx(sum(client.latencies))
+
+
+# -- per-client call ids (regression) ------------------------------------------
+
+class _CapturingGateway:
+    """Fake zero-trust gateway recording each request's conversation id."""
+
+    def __init__(self):
+        self.conversation_ids = []
+
+    def verify(self, env, action=""):
+        self.conversation_ids.append(env.message.conversation_id)
+        return 0.0
+
+
+def test_call_ids_are_per_client_not_module_global(sim, network, server):
+    # Two clients built in the same process must both stamp conversation
+    # ids starting at 1 (a module-global counter would leak state from
+    # one world into the next and break same-seed trace equality).
+    gw1, gw2 = _CapturingGateway(), _CapturingGateway()
+    c1 = RpcClient(sim, network, site="a", identity="tester", gateway=gw1)
+    run(sim, c1.call(server, "add", {"x": 1, "y": 1}))
+    run(sim, c1.call(server, "add", {"x": 1, "y": 2}))
+    c2 = RpcClient(sim, network, site="a", identity="tester", gateway=gw2)
+    run(sim, c2.call(server, "add", {"x": 1, "y": 3}))
+    assert gw1.conversation_ids == ["tester/1", "tester/2"]
+    assert gw2.conversation_ids == ["tester/1"]
