@@ -20,12 +20,7 @@ from typing import Any, Mapping, Optional
 from repro.agents.base import Agent, AgentRuntime
 from repro.agents.llm import SimulatedLLM
 from repro.methods.baselines import AskTellOptimizer
-
-# Fallback ids for plans built outside a planner.  Plans minted by a
-# PlannerAgent get instance-scoped ids instead, so same-seed runs in one
-# process produce identical plan ids (the determinism contract extends to
-# trace exports, which carry plan_id attributes).
-_plan_ids = itertools.count(1)
+from repro.sim.ids import next_label
 
 
 @dataclass
@@ -49,7 +44,11 @@ class ExperimentPlan:
 
     def __post_init__(self) -> None:
         if not self.plan_id:
-            self.plan_id = f"plan-{next(_plan_ids)}"
+            # Plans minted by a PlannerAgent get instance-scoped ids; this
+            # ambient-world fallback covers plans built outside a planner
+            # (the determinism contract extends to trace exports, which
+            # carry plan_id attributes).
+            self.plan_id = next_label("plan")
 
 
 class PlannerAgent(Agent):

@@ -1,0 +1,41 @@
+"""``repro.analysis`` — determinism tooling (a.k.a. **detlint**).
+
+The repo's claim to AISLE's quantified milestones rests on bit-identical
+same-seed simulation.  Reviewer vigilance does not scale to that
+contract; this package enforces it with tooling:
+
+- **Static half** (:mod:`repro.analysis.rules`,
+  :mod:`repro.analysis.engine`): an AST linter over sim code with rules
+  D001–D005 (module-global id factories, wall-clock reads, process-global
+  randomness, set-order iteration, ``id()``/``hash()`` ordering keys),
+  inline ``# detlint: ignore[...]`` pragmas, ``[tool.detlint]`` config in
+  ``pyproject.toml``, and a JSON report mode.  Run it with::
+
+      python -m repro.analysis src benchmarks examples
+
+- **Runtime half** (:mod:`repro.analysis.audit`): an opt-in sim-time race
+  auditor that rides the kernel's step/schedule hooks, counting
+  same-timestamp ties (and cross-process ones) and catching cross-process
+  mutation of shared registries within one timestep — with findings
+  exposed as :mod:`repro.obs` counters.
+"""
+
+from repro.analysis.audit import AuditFinding, RaceAuditor, WatchedRegistry
+from repro.analysis.engine import (DetlintConfig, Finding, Report,
+                                   lint_paths, lint_source, load_config)
+from repro.analysis.rules import ALL_RULES, RULES_BY_CODE, Violation
+
+__all__ = [
+    "ALL_RULES",
+    "AuditFinding",
+    "DetlintConfig",
+    "Finding",
+    "RaceAuditor",
+    "Report",
+    "RULES_BY_CODE",
+    "Violation",
+    "WatchedRegistry",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+]

@@ -1,0 +1,101 @@
+"""Console entry point: ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 — clean (no unsuppressed findings); 1 — findings or
+unparsable files; 2 — usage error (unknown rule code, no such path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.engine import DetlintConfig, lint_paths, load_config
+from repro.analysis.rules import ALL_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="detlint — determinism linter for AISLE sim code "
+                    "(rules D001-D005)")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write the machine-readable report to FILE "
+                             "('-' for stdout)")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", default=None,
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--no-config", action="store_true",
+                        help="skip [tool.detlint] discovery in "
+                             "pyproject.toml")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also print pragma-suppressed findings")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    return parser
+
+
+def _codes(raw: Optional[str]) -> tuple[str, ...]:
+    if not raw:
+        return ()
+    return tuple(c.strip().upper() for c in raw.split(",") if c.strip())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.title}")
+            print(f"      hint: {rule.hint}")
+        return 0
+
+    config = DetlintConfig() if args.no_config else load_config(Path.cwd())
+    if args.select:
+        config.select = _codes(args.select)
+    if args.ignore:
+        config.ignore = config.ignore + _codes(args.ignore)
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"detlint: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    try:
+        report = lint_paths(args.paths, config)
+    except ValueError as exc:  # unknown rule code
+        print(f"detlint: {exc}", file=sys.stderr)
+        return 2
+
+    for finding in report.findings:
+        if finding.suppressed and not args.show_suppressed:
+            continue
+        print(finding.render())
+    for err in report.parse_errors:
+        print(f"detlint: parse error: {err}", file=sys.stderr)
+
+    if args.json is not None:
+        payload = report.to_json()
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n", "utf-8")
+
+    summary = report.to_dict()["summary"]
+    print(f"detlint: {summary['files_scanned']} files, "
+          f"{summary['unsuppressed']} finding(s), "
+          f"{summary['suppressed']} suppressed")
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:  # e.g. output piped into `head`
+        code = 0
+    raise SystemExit(code)

@@ -1,0 +1,236 @@
+"""The detlint engine: file discovery, pragmas, config, reports.
+
+Pipeline: discover ``*.py`` files under the given paths → parse each with
+stdlib ``ast`` → run the selected rules (:mod:`repro.analysis.rules`) →
+apply inline pragmas → render a text or machine-readable JSON report.
+
+Pragmas
+-------
+A finding is *suppressed* (reported but not counted against the exit
+code) when the flagged line — or a comment-only line directly above it —
+carries::
+
+    # detlint: ignore[D001]         suppress one rule on this line
+    # detlint: ignore[D001,D004]    suppress several
+    # detlint: ignore               suppress every rule on this line
+
+Anything after the closing bracket is free-form justification; write one.
+
+Configuration
+-------------
+``[tool.detlint]`` in ``pyproject.toml`` supplies project defaults::
+
+    [tool.detlint]
+    exclude = ["tests/analysis/fixtures"]   # path substrings to skip
+    select  = []                            # empty = all rules
+    ignore  = []                            # rule codes disabled globally
+
+CLI flags override the config; ``tomllib`` is used when available
+(Python 3.11+) and config loading degrades to defaults without it.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.rules import ALL_RULES, RULES_BY_CODE, Rule, check_module
+
+__all__ = ["Finding", "Report", "DetlintConfig", "lint_paths", "lint_source",
+           "load_config"]
+
+_PRAGMA = re.compile(
+    r"#\s*detlint:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
+
+#: Report schema version — bump on breaking JSON changes.
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation located in a file, after pragma resolution."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str
+    suppressed: bool = False
+
+    def render(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return (f"{self.path}:{self.line}:{self.col + 1}: {self.code} "
+                f"{self.message}{mark}\n    hint: {self.hint}")
+
+
+@dataclass
+class Report:
+    """Everything one detlint run learned."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.unsuppressed or self.parse_errors) else 0
+
+    def to_dict(self) -> dict:
+        by_code: dict[str, int] = {}
+        for f in self.unsuppressed:
+            by_code[f.code] = by_code.get(f.code, 0) + 1
+        return {
+            "version": REPORT_VERSION,
+            "tool": "detlint",
+            "findings": [asdict(f) for f in self.findings],
+            "parse_errors": list(self.parse_errors),
+            "summary": {
+                "files_scanned": self.files_scanned,
+                "findings": len(self.findings),
+                "unsuppressed": len(self.unsuppressed),
+                "suppressed": len(self.findings) - len(self.unsuppressed),
+                "by_code": dict(sorted(by_code.items())),
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+
+@dataclass
+class DetlintConfig:
+    """Effective configuration after merging pyproject + CLI flags."""
+
+    select: tuple[str, ...] = ()      # empty selects every rule
+    ignore: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+
+    def rules(self) -> list[Rule]:
+        codes = [c for c in (self.select or sorted(RULES_BY_CODE))
+                 if c not in self.ignore]
+        unknown = [c for c in codes if c not in RULES_BY_CODE]
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(unknown)}")
+        return [RULES_BY_CODE[c] for c in codes]
+
+    def excludes_path(self, path: Path) -> bool:
+        text = path.as_posix()
+        return any(pat in text for pat in self.exclude)
+
+
+def load_config(root: Optional[Path] = None) -> DetlintConfig:
+    """Read ``[tool.detlint]`` from the nearest ``pyproject.toml``.
+
+    Searches ``root`` (default: cwd) and its parents; returns defaults
+    when no file, no table, or no toml parser is available.
+    """
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - py3.10 without tomli
+        return DetlintConfig()
+    base = (root or Path.cwd()).resolve()
+    candidates = [base, *base.parents] if base.is_dir() \
+        else [base.parent, *base.parent.parents]
+    for directory in candidates:
+        pyproject = directory / "pyproject.toml"
+        if not pyproject.is_file():
+            continue
+        try:
+            table = tomllib.loads(pyproject.read_text("utf-8"))
+        except (OSError, tomllib.TOMLDecodeError):
+            return DetlintConfig()
+        section = table.get("tool", {}).get("detlint", {})
+        return DetlintConfig(
+            select=tuple(section.get("select", ())),
+            ignore=tuple(section.get("ignore", ())),
+            exclude=tuple(section.get("exclude", ())),
+        )
+    return DetlintConfig()
+
+
+# -- pragma resolution ---------------------------------------------------------
+
+
+def _pragma_codes(line: str) -> Optional[frozenset[str]]:
+    """Codes suppressed by a pragma on ``line``; empty frozenset means
+    "all rules"; ``None`` means no pragma."""
+    m = _PRAGMA.search(line)
+    if m is None:
+        return None
+    codes = m.group("codes")
+    if codes is None:
+        return frozenset()
+    return frozenset(c.strip() for c in codes.split(",") if c.strip())
+
+
+def _suppressed(lines: Sequence[str], line_no: int, code: str) -> bool:
+    """Pragma check for a finding at 1-based ``line_no``: the line itself,
+    or a comment-only line directly above."""
+    candidates = [lines[line_no - 1]] if line_no <= len(lines) else []
+    if line_no >= 2 and lines[line_no - 2].lstrip().startswith("#"):
+        candidates.append(lines[line_no - 2])
+    for text in candidates:
+        codes = _pragma_codes(text)
+        if codes is not None and (not codes or code in codes):
+            return True
+    return False
+
+
+# -- linting -------------------------------------------------------------------
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Optional[Iterable[Rule]] = None) -> list[Finding]:
+    """Lint one source string; raises ``SyntaxError`` on unparsable input."""
+    module = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    findings = []
+    for v in check_module(module, tuple(rules) if rules else ALL_RULES):
+        rule = RULES_BY_CODE[v.code]
+        findings.append(Finding(
+            path=path, line=v.line, col=v.col, code=v.code,
+            message=v.message, hint=rule.hint,
+            suppressed=_suppressed(lines, v.line, v.code)))
+    return findings
+
+
+def _discover(paths: Sequence[Path], config: DetlintConfig) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(p for p in sorted(path.rglob("*.py"))
+                         if "__pycache__" not in p.parts
+                         and not any(part.startswith(".")
+                                     for part in p.parts))
+        elif path.suffix == ".py":
+            files.append(path)
+    return [f for f in files if not config.excludes_path(f)]
+
+
+def lint_paths(paths: Sequence[str | Path],
+               config: Optional[DetlintConfig] = None) -> Report:
+    """Lint files/directories; the workhorse behind the CLI and the
+    self-check test."""
+    config = config or DetlintConfig()
+    report = Report()
+    for file in _discover([Path(p) for p in paths], config):
+        try:
+            source = file.read_text("utf-8")
+            findings = lint_source(source, path=file.as_posix(),
+                                   rules=config.rules())
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            report.parse_errors.append(f"{file.as_posix()}: {exc}")
+            continue
+        report.files_scanned += 1
+        report.findings.extend(findings)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return report

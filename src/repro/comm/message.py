@@ -9,13 +9,11 @@ middleware and ROS2-style ecosystems cited in §3.4 approximate.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.comm.serialization import estimate_size
-
-_msg_counter = itertools.count(1)
+from repro.sim.ids import next_id
 
 
 class Performative(enum.Enum):
@@ -60,7 +58,10 @@ class Message:
     conversation_id: str = ""
     reply_to: str = ""
     headers: dict[str, Any] = field(default_factory=dict)
-    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    # Ambient world allocation (repro.sim.ids): messages created inside a
+    # simulation draw from that world's "message" stream, so same-seed
+    # federations stamp identical msg_ids (and conversation ids).
+    msg_id: int = field(default_factory=lambda: next_id("message"))
 
     def size_bytes(self) -> float:
         """Estimated wire size of the message (payload + fixed overhead)."""

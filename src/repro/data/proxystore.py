@@ -12,7 +12,6 @@ caches thereafter — the behaviour E9's bulk-movement column measures.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -21,8 +20,6 @@ from repro.comm.serialization import estimate_size
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.transport import Network
     from repro.sim.kernel import Simulator
-
-_proxy_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -67,7 +64,9 @@ class ProxyStore:
 
     def put(self, obj: Any) -> Proxy:
         """Store an object locally; returns its proxy."""
-        key = f"proxy-{next(_proxy_ids)}"
+        # One world-wide "proxy" stream: keys stay unique across every
+        # store in the federation and identical across same-seed worlds.
+        key = self.sim.ids.label("proxy")
         self._objects[key] = obj
         self.stats["puts"] += 1
         return Proxy(key=key, home_site=self.site,

@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.comm.serialization import estimate_size
-
-_record_ids = itertools.count(1)
+from repro.sim.ids import next_label
 
 
 @dataclass
@@ -57,7 +55,9 @@ class DataRecord:
 
     def __post_init__(self) -> None:
         if not self.record_id:
-            self.record_id = f"rec-{next(_record_ids)}"
+            # Ambient world allocation (repro.sim.ids): records minted on
+            # a simulation path draw from that world's "record" stream.
+            self.record_id = next_label("record", "rec")
 
     def size_bytes(self) -> float:
         return 256.0 + estimate_size(self.values) + estimate_size(self.raw) \

@@ -9,7 +9,6 @@ capability descriptor published to the service registry.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping, Optional
 
@@ -17,13 +16,12 @@ import numpy as np
 
 from repro.instruments.calibration import CalibrationModel
 from repro.instruments.errors import InstrumentFault, OutOfSpec
+from repro.sim.ids import next_label
 from repro.sim.resources import Resource
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.kernel import Simulator
     from repro.sim.rng import RngRegistry
-
-_measurement_ids = itertools.count(1)
 
 
 class InstrumentStatus(enum.Enum):
@@ -80,7 +78,10 @@ class Measurement:
 
     def __post_init__(self) -> None:
         if not self.measurement_id:
-            self.measurement_id = f"meas-{next(_measurement_ids)}"
+            # World-scoped allocation: instruments stamp ids explicitly
+            # from ``sim.ids``; this ambient fallback covers bare
+            # construction outside any instrument (tests, fixtures).
+            self.measurement_id = next_label("measurement", "meas")
 
 
 class Instrument:
@@ -124,6 +125,10 @@ class Instrument:
         self.operating_hours = 0.0
         self.stats = {"operations": 0, "faults": 0, "repairs": 0,
                       "busy_time": 0.0, "rejected": 0}
+
+    def next_measurement_id(self) -> str:
+        """Mint a world-scoped measurement id (same-seed worlds agree)."""
+        return self.sim.ids.label("measurement", "meas")
 
     # -- capability surface ----------------------------------------------------
 

@@ -10,7 +10,6 @@ trade-offs meaningful for the orchestrator.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping, Optional
 
@@ -22,8 +21,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.labsci.landscapes import Landscape
     from repro.sim.kernel import Simulator
     from repro.sim.rng import RngRegistry
-
-_job_ids = itertools.count(1)
 
 
 @dataclass
@@ -100,7 +97,10 @@ class HpcCluster:
         self.stats["node_seconds"] += walltime_s * n_nodes
         self.stats["queue_wait"] += queued
         values = compute() if compute is not None else {}
-        return JobResult(job_id=f"job-{next(_job_ids)}", values=values,
+        # World-scoped ids: one "hpc.job" stream per world, so same-seed
+        # federations number their jobs identically.
+        return JobResult(job_id=self.sim.ids.label("hpc.job", "job"),
+                         values=values,
                          queued_s=queued, ran_s=walltime_s, nodes=n_nodes,
                          metadata={"kind": job_kind, "cluster": self.name})
 

@@ -54,6 +54,7 @@ class LiquidHandler(Instrument):
             for reagent, vol in recipe.items()}
         self.prepared[mixture_id] = actual
         return Measurement(
+            measurement_id=self.next_measurement_id(),
             instrument=self.name, kind="plate-map",
             values={"n_transfers": float(len(recipe)),
                     "total_volume_uL": float(sum(actual.values()))},

@@ -67,6 +67,7 @@ class ElectronMicroscope(Instrument):
         img = self._micrograph(observed)
         grain_density = float((1.0 - observed) * 40 + 2)
         return Measurement(
+            measurement_id=self.next_measurement_id(),
             instrument=self.name, kind="micrograph",
             values={"uniformity": observed, "grain_density": grain_density},
             raw={"image": img,

@@ -60,6 +60,7 @@ class PLSpectrometer(Instrument):
         obs_nm = float(true_nm + self.rng.normal(0.0, self.wavelength_noise_nm))
         spectrum = self._synthesize_spectrum(obs_nm, max(obs_plqy, 1e-3))
         return Measurement(
+            measurement_id=self.next_measurement_id(),
             instrument=self.name, kind="pl-spectrum",
             values={"plqy": obs_plqy, "emission_nm": obs_nm},
             raw={"spectrum": spectrum,

@@ -74,6 +74,7 @@ class XRayDiffractometer(Instrument):
                             if isinstance(v, str))
         pattern = self._pattern(observed, chem_key)
         return Measurement(
+            measurement_id=self.next_measurement_id(),
             instrument=self.name, kind="xrd-pattern",
             values={"crystallinity": observed},
             raw={"two_theta": pattern[0], "counts": pattern[1],

@@ -9,11 +9,10 @@ stand-in for "you have to actually measure it".
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-_sample_ids = itertools.count(1)
+from repro.sim.ids import next_label
 
 
 @dataclass
@@ -44,7 +43,9 @@ class Sample:
 
     def __post_init__(self) -> None:
         if not self.sample_id:
-            self.sample_id = f"sample-{next(_sample_ids)}"
+            # Ambient world allocation (repro.sim.ids): samples synthesized
+            # inside a simulation draw from that world's "sample" stream.
+            self.sample_id = next_label("sample")
 
     @classmethod
     def synthesize(cls, params: Mapping[str, Any], landscape,

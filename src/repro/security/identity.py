@@ -92,7 +92,8 @@ class FederatedIdentityProvider:
             secret=self._secret, subject=subject, issuer=self.institution,
             scopes=scopes, attributes=dict(identity.attributes),
             issued_at=self.sim.now,
-            expires_at=self.sim.now + (ttl_s or self.default_ttl_s))
+            expires_at=self.sim.now + (ttl_s or self.default_ttl_s),
+            ids=self.sim.ids)
         self.stats["issued"] += 1
         return token
 

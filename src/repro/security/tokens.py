@@ -9,11 +9,10 @@ layer needs.
 from __future__ import annotations
 
 import hashlib
-import itertools
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Optional
 
-_token_ids = itertools.count(1)
+from repro.sim.ids import IdSequencer, ambient_ids
 
 
 class TokenError(Exception):
@@ -70,9 +69,15 @@ class Token:
     @classmethod
     def mint(cls, secret: bytes, subject: str, issuer: str,
              scopes: tuple[str, ...], attributes: dict[str, Any],
-             issued_at: float, expires_at: float) -> "Token":
-        """Create and sign a token (IdP-side)."""
-        token_id = f"tok-{next(_token_ids)}"
+             issued_at: float, expires_at: float,
+             ids: Optional[IdSequencer] = None) -> "Token":
+        """Create and sign a token (IdP-side).
+
+        ``ids`` is the world's id sequencer; identity providers pass
+        ``sim.ids`` so token ids (which feed revocation lists) are
+        world-scoped.  Without it the ambient sequencer is used.
+        """
+        token_id = (ids or ambient_ids()).label("token", "tok")
         attrs = tuple(sorted(attributes.items()))
         claims = cls._claims(token_id, subject, issuer, tuple(scopes), attrs,
                              issued_at, expires_at)

@@ -19,6 +19,7 @@ Public surface:
 """
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.ids import IdSequencer, ambient_ids, next_id, next_label
 from repro.sim.kernel import Simulator, StopSimulation
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import FilterStore, PriorityStore, Resource, Store
@@ -29,6 +30,7 @@ __all__ = [
     "AnyOf",
     "Event",
     "FilterStore",
+    "IdSequencer",
     "Interrupt",
     "PriorityStore",
     "Process",
@@ -38,4 +40,7 @@ __all__ = [
     "StopSimulation",
     "Store",
     "Timeout",
+    "ambient_ids",
+    "next_id",
+    "next_label",
 ]

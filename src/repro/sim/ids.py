@@ -1,0 +1,120 @@
+"""Per-world identifier streams — the id half of the determinism contract.
+
+Every AISLE object that needs an identity (measurements, HPC jobs, data
+proxies, records, samples, tokens, messages, plans) used to pull from a
+module-global ``itertools.count``.  That is a determinism bug class: two
+same-seed federations built in one process *interleave* their draws from
+the shared counter, so ids — and everything downstream of them (trace
+exports, provenance graphs, revocation lists) — diverge between runs that
+should be byte-identical.  ``detlint`` rule D001 now rejects the pattern
+outright; this module is the sanctioned replacement.
+
+An :class:`IdSequencer` owns any number of independent *named* integer
+streams.  Each :class:`~repro.sim.kernel.Simulator` carries its own
+sequencer (``sim.ids``), so ids are a pure function of the world that
+allocates them: two same-seed worlds hand out identical ids no matter how
+their lifetimes interleave inside one process.
+
+Components that hold a ``sim`` handle allocate explicitly::
+
+    job_id = f"job-{self.sim.ids.next('hpc.job')}"
+
+Value objects constructed *without* a world handle (bare dataclasses in
+tests, ``Message.reply``) fall back to the **ambient** sequencer: the
+kernel binds ``sim.ids`` as ambient whenever a world is constructed or
+stepped, so any id minted while a world is live comes from that world's
+streams.  Only code running with no ``Simulator`` at all reaches the
+process-local fallback — a convenience for unit tests, never exercised on
+a simulation path (tests/integration/test_same_seed_ids.py proves it).
+"""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+from typing import Optional
+
+__all__ = ["IdSequencer", "ambient_ids", "bind_ambient", "next_id",
+           "next_label"]
+
+
+class IdSequencer:
+    """Named, independent, monotonically increasing integer streams.
+
+    Streams spring into existence on first use and are independent of each
+    other: allocating from ``"measurement"`` never perturbs ``"token"``.
+    The class is deliberately tiny — a dict of high-water marks — so a
+    sequencer can be snapshotted, compared, and embedded per world at
+    negligible cost.
+
+    Examples
+    --------
+    >>> ids = IdSequencer()
+    >>> ids.next("sample"), ids.next("sample"), ids.next("token")
+    (1, 2, 1)
+    >>> ids.label("sample")
+    'sample-3'
+    >>> ids.label("measurement", "meas")
+    'meas-1'
+    """
+
+    __slots__ = ("_streams",)
+
+    def __init__(self) -> None:
+        self._streams: dict[str, int] = {}
+
+    def next(self, stream: str) -> int:
+        """Allocate the next integer (1-based) from ``stream``."""
+        n = self._streams.get(stream, 0) + 1
+        self._streams[stream] = n
+        return n
+
+    def label(self, stream: str, prefix: Optional[str] = None) -> str:
+        """Allocate and render ``"<prefix>-<n>"`` (prefix defaults to the
+        stream name)."""
+        return f"{prefix or stream}-{self.next(stream)}"
+
+    def peek(self, stream: str) -> int:
+        """Last value allocated from ``stream`` (0 if untouched)."""
+        return self._streams.get(stream, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of all stream high-water marks (for audits/regressions)."""
+        return dict(self._streams)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<IdSequencer {self._streams!r}>"
+
+
+# The ambient binding: "which world's sequencer should id allocations that
+# carry no explicit handle draw from?".  The kernel rebinds this on world
+# construction and on every step, so interleaved same-seed worlds each see
+# their own streams.  The fallback below exists ONLY for code running with
+# no Simulator anywhere (bare dataclass construction in unit tests); it is
+# process-local mutable state by design and carries the one sanctioned
+# detlint suppression in the codebase.
+_AMBIENT: ContextVar[Optional[IdSequencer]] = ContextVar(
+    "repro.sim.ids.ambient", default=None)
+_NO_WORLD_FALLBACK = IdSequencer()  # detlint: ignore[D001] — test-only fallback; every Simulator binds its own sequencer
+
+
+def bind_ambient(ids: IdSequencer) -> None:
+    """Make ``ids`` the ambient sequencer for this execution context."""
+    if _AMBIENT.get() is not ids:
+        _AMBIENT.set(ids)
+
+
+def ambient_ids() -> IdSequencer:
+    """The ambient sequencer (the last world touched), or the process
+    fallback when no world exists."""
+    ids = _AMBIENT.get()
+    return _NO_WORLD_FALLBACK if ids is None else ids
+
+
+def next_id(stream: str) -> int:
+    """Allocate from the ambient sequencer's ``stream``."""
+    return ambient_ids().next(stream)
+
+
+def next_label(stream: str, prefix: Optional[str] = None) -> str:
+    """Allocate and render a label from the ambient sequencer."""
+    return ambient_ids().label(stream, prefix)

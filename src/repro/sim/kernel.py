@@ -13,6 +13,7 @@ import heapq
 from typing import Any, Callable, Generator, Optional
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.ids import IdSequencer, bind_ambient
 from repro.sim.process import Process
 
 
@@ -78,6 +79,13 @@ class Simulator:
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        # Per-world id streams (see repro.sim.ids): ids allocated by this
+        # world are a function of the world alone, so two same-seed worlds
+        # in one process mint identical identifiers.  The sequencer also
+        # becomes *ambient* while this world is live, covering value
+        # objects constructed without an explicit handle.
+        self.ids = IdSequencer()
+        bind_ambient(self.ids)
         # Observability hooks (repro.obs): called as hook(time, event).
         # ``None`` (the default) keeps untraced runs on the fast path.
         self.step_hook: Optional[Callable[[float, Event], Any]] = None
@@ -146,6 +154,7 @@ class Simulator:
 
     def step(self) -> None:
         """Process exactly one event from the queue."""
+        bind_ambient(self.ids)
         try:
             self._now, _, event = heapq.heappop(self._queue)
         except IndexError:

@@ -1,0 +1,67 @@
+"""Seeded detlint fixture: every rule D001–D005 fires in this file.
+
+This module is *intentionally dirty*.  It is excluded from the repo
+sweep via ``[tool.detlint] exclude`` in pyproject.toml and exists so the
+analysis test suite can assert each rule against realistic code shapes
+(see tests/analysis/test_engine.py::test_fixture_triggers_every_rule).
+It is never imported by product code.
+"""
+
+import itertools
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+# D001 shape 1: module-level itertools.count id factory.
+_widget_ids = itertools.count(1)
+
+# D001 shape 2: a bare module-level counter rebound through `global`.
+_n_widgets = 0
+
+# D001 shape 3: a module-level cache mutated at runtime.
+_RESULT_CACHE = {}
+
+
+def make_widget():
+    global _n_widgets
+    _n_widgets += 1
+    widget_id = f"widget-{next(_widget_ids)}"
+    # D002: wall-clock reads inside "sim" code.
+    _RESULT_CACHE[widget_id] = time.time()
+    stamped = datetime.now()
+    return widget_id, stamped
+
+
+def noisy_value():
+    # D003: process-global RNG state (stdlib and numpy legacy API).
+    a = random.random()
+    b = np.random.normal(0.0, 1.0)
+    np.random.seed(0)
+    return a + b
+
+
+def emit_events(pending):
+    # D004: iteration order over a set feeds emission order.
+    ready = set(pending)
+    out = []
+    for item in ready:
+        out.append(item)
+    out.extend(x for x in {"b", "a"})
+    return out
+
+
+def tie_break(events):
+    # D005: id()/hash() as ordering keys.
+    events.sort(key=id)
+    return sorted(events, key=lambda e: (0.0, id(e)))
+
+
+def sanctioned_patterns(sim, rngs):
+    """The clean counterparts: none of these may fire."""
+    rng = rngs.stream("demo")                  # named deterministic stream
+    seeded = np.random.default_rng(42)         # explicitly seeded
+    label = sim.ids.label("widget")            # world-scoped id
+    ordered = sorted({"b", "a"})               # sorted() normalizes sets
+    return rng.random(), seeded.random(), label, ordered, sim.now

@@ -1,0 +1,213 @@
+"""Engine tests: pragmas, config, JSON schema, CLI, and the self-check
+that keeps the repo detlint-clean."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (DetlintConfig, lint_paths, lint_source,
+                            load_config)
+from repro.analysis.__main__ import main
+from repro.analysis.engine import REPORT_VERSION
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURE = Path(__file__).parent / "fixtures" / "detlint_cases.py"
+
+DIRTY = "import itertools\n_ids = itertools.count(1)\n"
+
+
+# -- pragma suppression -------------------------------------------------------
+
+def test_pragma_same_line_suppresses():
+    src = "import itertools\n_ids = itertools.count(1)  # detlint: ignore[D001] legacy\n"
+    (finding,) = lint_source(src)
+    assert finding.suppressed
+
+
+def test_pragma_comment_line_above_suppresses():
+    src = ("import itertools\n"
+           "# detlint: ignore[D001] — migrated in PR 9\n"
+           "_ids = itertools.count(1)\n")
+    (finding,) = lint_source(src)
+    assert finding.suppressed
+
+
+def test_pragma_bare_ignore_suppresses_all_codes():
+    src = "import itertools\n_ids = itertools.count(1)  # detlint: ignore\n"
+    (finding,) = lint_source(src)
+    assert finding.suppressed
+
+
+def test_pragma_wrong_code_does_not_suppress():
+    src = "import itertools\n_ids = itertools.count(1)  # detlint: ignore[D004]\n"
+    (finding,) = lint_source(src)
+    assert not finding.suppressed
+
+
+def test_pragma_multiple_codes():
+    src = ("import time\n"
+           "def f():\n"
+           "    return time.time()  # detlint: ignore[D001,D002]\n")
+    (finding,) = lint_source(src)
+    assert finding.suppressed
+
+
+def test_pragma_on_distant_line_does_not_suppress():
+    src = ("# detlint: ignore[D001]\n"
+           "import itertools\n"
+           "_ids = itertools.count(1)\n")
+    (finding,) = lint_source(src)
+    assert not finding.suppressed
+
+
+# -- config -------------------------------------------------------------------
+
+def test_load_config_reads_pyproject(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.detlint]\nexclude = ['vendored']\n"
+        "select = ['D001']\nignore = ['D004']\n")
+    cfg = load_config(tmp_path)
+    assert cfg.exclude == ("vendored",)
+    assert cfg.select == ("D001",)
+    assert cfg.ignore == ("D004",)
+
+
+def test_load_config_searches_parents(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.detlint]\nexclude = ['deep']\n")
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    assert load_config(nested).exclude == ("deep",)
+
+
+def test_load_config_defaults_without_table(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+    assert load_config(tmp_path) == DetlintConfig()
+
+
+def test_config_select_and_ignore_filter_rules():
+    cfg = DetlintConfig(select=("D001", "D002"), ignore=("D002",))
+    assert [r.code for r in cfg.rules()] == ["D001"]
+
+
+def test_config_unknown_code_raises():
+    with pytest.raises(ValueError, match="D999"):
+        DetlintConfig(select=("D999",)).rules()
+
+
+def test_exclude_skips_files(tmp_path):
+    bad = tmp_path / "vendored" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text(DIRTY)
+    report = lint_paths([tmp_path], DetlintConfig(exclude=("vendored",)))
+    assert report.files_scanned == 0
+    assert report.findings == []
+
+
+# -- JSON report schema -------------------------------------------------------
+
+def test_json_report_schema(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(DIRTY +
+                      "_ok = itertools.count(1)  # detlint: ignore[D001]\n")
+    payload = lint_paths([target]).to_dict()
+    assert payload["version"] == REPORT_VERSION
+    assert payload["tool"] == "detlint"
+    assert payload["summary"] == {
+        "files_scanned": 1, "findings": 2, "unsuppressed": 1,
+        "suppressed": 1, "by_code": {"D001": 1},
+    }
+    unsuppressed = [f for f in payload["findings"] if not f["suppressed"]]
+    (finding,) = unsuppressed
+    assert set(finding) == {"path", "line", "col", "code", "message",
+                            "hint", "suppressed"}
+    assert finding["code"] == "D001"
+    assert finding["line"] == 2
+    # Round-trips through json.
+    assert json.loads(lint_paths([target]).to_json())["version"] == 1
+
+
+def test_exit_code_semantics(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 5\n")
+    assert lint_paths([clean]).exit_code == 0
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(DIRTY)
+    assert lint_paths([dirty]).exit_code == 1
+    broken = tmp_path / "broken.py"
+    broken.write_text("def (:\n")
+    report = lint_paths([broken])
+    assert report.exit_code == 1
+    assert report.parse_errors
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def test_cli_clean_run_exits_zero(tmp_path, capsys):
+    mod = tmp_path / "ok.py"
+    mod.write_text("X = 1\n")
+    assert main([str(mod), "--no-config"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_findings_exit_one_and_json(tmp_path, capsys):
+    mod = tmp_path / "bad.py"
+    mod.write_text(DIRTY)
+    out_json = tmp_path / "report.json"
+    assert main([str(mod), "--no-config", "--json", str(out_json)]) == 1
+    text = capsys.readouterr().out
+    assert "D001" in text and "hint:" in text
+    payload = json.loads(out_json.read_text())
+    assert payload["summary"]["unsuppressed"] == 1
+
+
+def test_cli_select_limits_rules(tmp_path):
+    mod = tmp_path / "bad.py"
+    mod.write_text(DIRTY + "import time\ndef f():\n    return time.time()\n")
+    assert main([str(mod), "--no-config", "--select", "D002"]) == 1
+    assert main([str(mod), "--no-config", "--select", "D004"]) == 0
+
+
+def test_cli_missing_path_and_bad_code(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.py"), "--no-config"]) == 2
+    mod = tmp_path / "ok.py"
+    mod.write_text("X = 1\n")
+    assert main([str(mod), "--no-config", "--select", "D999"]) == 2
+    assert "D999" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("D001", "D002", "D003", "D004", "D005"):
+        assert code in out
+
+
+# -- the fixture + the self-check ---------------------------------------------
+
+def test_fixture_triggers_every_rule():
+    findings = lint_source(FIXTURE.read_text(), FIXTURE.as_posix())
+    fired = {f.code for f in findings if not f.suppressed}
+    assert fired == {"D001", "D002", "D003", "D004", "D005"}
+    # The sanctioned patterns at the bottom of the fixture stay silent:
+    # nothing fires at or after the clean-counterpart function.
+    clean_start = FIXTURE.read_text().splitlines().index(
+        "def sanctioned_patterns(sim, rngs):") + 1
+    assert all(f.line < clean_start for f in findings)
+
+
+def test_detlint_self_check_repo_is_clean():
+    """The acceptance gate: src/benchmarks/examples carry zero
+    unsuppressed findings under the project config."""
+    config = load_config(REPO_ROOT)
+    report = lint_paths([REPO_ROOT / "src", REPO_ROOT / "benchmarks",
+                         REPO_ROOT / "examples"], config)
+    assert report.files_scanned > 100
+    assert report.parse_errors == []
+    offenders = "\n".join(f.render() for f in report.unsuppressed)
+    assert not report.unsuppressed, f"detlint findings:\n{offenders}"
+    # Every suppression in the tree carries its pragma deliberately; today
+    # there is exactly one (the documented no-world fallback in sim/ids).
+    suppressed = [f for f in report.findings if f.suppressed]
+    assert all("ids.py" in f.path for f in suppressed)

@@ -1,0 +1,126 @@
+"""The id half of the determinism contract, end to end.
+
+Two same-seed worlds built in ONE process must mint identical identifiers
+for every id-bearing object — measurements, HPC jobs, proxies, records,
+samples, tokens, and messages — no matter how the worlds' lifetimes
+interleave.  Before the per-world :class:`repro.sim.ids.IdSequencer`,
+these ids came from module-global ``itertools.count`` factories and the
+interleaved case diverged (world A and world B split one shared sequence
+between them).
+"""
+
+from repro.comm.message import Message, Performative
+from repro.data.proxystore import ProxyStore
+from repro.data.record import DataRecord
+from repro.instruments.hpc import HpcCluster
+from repro.instruments.spectrometer import PLSpectrometer
+from repro.labsci.sample import Sample
+from repro.security.identity import FederatedIdentityProvider, Identity
+from repro.sim import ids as ids_mod
+from repro.sim.kernel import EmptySchedule, Simulator
+from repro.sim.rng import RngRegistry
+
+STREAMS = ("measurements", "jobs", "proxies", "records", "samples",
+           "tokens", "messages")
+
+
+def build_world(seed):
+    """One lab-in-a-box world exercising every id-bearing object."""
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    spectrometer = PLSpectrometer(sim, "pl-1", "site-a", rngs)
+    hpc = HpcCluster(sim, "hpc-1", "site-a", rngs)
+    store = ProxyStore(sim, None, "site-a", {})
+    idp = FederatedIdentityProvider(sim, "site-a")
+    idp.enroll(Identity.make("agent-1", "site-a", role="agent"))
+    minted = {stream: [] for stream in STREAMS}
+
+    def campaign(sim):
+        for i in range(3):
+            # Bare dataclasses draw from the *ambient* (= this world's)
+            # sequencer because construction happens inside a step.
+            sample = Sample(params={"i": i},
+                            _true_properties={"plqy": 0.55,
+                                              "emission_nm": 602.0})
+            minted["samples"].append(sample.sample_id)
+            measurement = yield from spectrometer.measure(sample)
+            minted["measurements"].append(measurement.measurement_id)
+            job = yield from hpc.run_job(walltime_s=30.0)
+            minted["jobs"].append(job.job_id)
+            minted["proxies"].append(store.put({"spectrum": i}).key)
+            record = DataRecord(source="pl-1",
+                                values=dict(measurement.values))
+            minted["records"].append(record.record_id)
+            minted["tokens"].append(idp.issue("agent-1").token_id)
+            message = Message(performative=Performative.INFORM,
+                              sender="pl-1", recipient="planner",
+                              payload={"i": i})
+            minted["messages"].append(message.msg_id)
+            yield sim.timeout(1.0)
+
+    sim.process(campaign(sim))
+    return sim, minted
+
+
+def drain(sim):
+    sim.run()
+
+
+def test_one_world_mints_sequential_ids():
+    sim, minted = build_world(seed=7)
+    drain(sim)
+    assert minted["samples"] == ["sample-1", "sample-2", "sample-3"]
+    assert minted["measurements"] == ["meas-1", "meas-2", "meas-3"]
+    assert minted["jobs"] == ["job-1", "job-2", "job-3"]
+    assert minted["proxies"] == ["proxy-1", "proxy-2", "proxy-3"]
+    assert minted["records"] == ["rec-1", "rec-2", "rec-3"]
+    assert minted["tokens"] == ["tok-1", "tok-2", "tok-3"]
+    assert minted["messages"] == [1, 2, 3]
+
+
+def test_same_seed_worlds_sequential():
+    sim_a, minted_a = build_world(seed=42)
+    drain(sim_a)
+    sim_b, minted_b = build_world(seed=42)
+    drain(sim_b)
+    assert minted_a == minted_b
+
+
+def test_same_seed_worlds_interleaved():
+    """The regression the counter migration exists for: alternate single
+    steps between two live same-seed worlds."""
+    sim_a, minted_a = build_world(seed=42)
+    sim_b, minted_b = build_world(seed=42)
+    live = [sim_a, sim_b]
+    while live:
+        for sim in list(live):
+            try:
+                sim.step()
+            except EmptySchedule:
+                live.remove(sim)
+    for stream in STREAMS:
+        assert minted_a[stream] == minted_b[stream], stream
+    assert sim_a.ids.snapshot() == sim_b.ids.snapshot()
+
+
+def test_interleaved_matches_sequential():
+    sim_a, minted_seq = build_world(seed=9)
+    drain(sim_a)
+    sim_b, minted_il = build_world(seed=9)
+    sim_c, _ = build_world(seed=9)
+    live = [sim_b, sim_c]
+    while live:
+        for sim in list(live):
+            try:
+                sim.step()
+            except EmptySchedule:
+                live.remove(sim)
+    assert minted_il == minted_seq
+
+
+def test_simulation_never_touches_the_process_fallback():
+    before = ids_mod._NO_WORLD_FALLBACK.snapshot()
+    sim, minted = build_world(seed=3)
+    drain(sim)
+    assert all(len(minted[stream]) == 3 for stream in STREAMS)
+    assert ids_mod._NO_WORLD_FALLBACK.snapshot() == before
