@@ -5,6 +5,13 @@ encoded vectors (normalized continuous + one-hot discrete) and an
 acquisition maximized over a random candidate pool.  For spaces with large
 discrete structure, prefer
 :class:`~repro.methods.nested.NestedBayesianOptimizer`.
+
+The surrogate is kept in sync *incrementally*: new observations (local
+tells and donated ``absorb``-ed points alike) reach the GP through
+:meth:`~repro.methods.gp.GaussianProcess.observe` — an O(n²) rank-1
+update — instead of an O(n³) refit per ask.  Hyperparameter grid refits
+(every ``refit_every`` asks) and a periodic ``full_refit_every`` knob
+rebuild the factorization from scratch for numerical hygiene.
 """
 
 from __future__ import annotations
@@ -37,32 +44,86 @@ class BayesianOptimizer(AskTellOptimizer):
         Candidate pool size per ask.
     refit_every:
         Hyperparameter re-fit cadence (grid LML search is not free).
+    full_refit_every:
+        Every this many incremental surrogate updates, rebuild the
+        Cholesky factor from scratch instead of extending it — bounds
+        floating-point drift of the rank-1 chain.  The grid refit already
+        refactors, so this only matters when ``refit_every`` is large.
     """
 
     def __init__(self, space: ParameterSpace, rng: np.random.Generator, *,
                  acquisition: str = "ei", n_init: int = 8,
                  n_candidates: int = 512, noise: float = 0.02,
-                 refit_every: int = 10) -> None:
+                 refit_every: int = 10,
+                 full_refit_every: int = 50) -> None:
         super().__init__(space)
         self.rng = rng
         self.acquisition = acquisition
         self.n_init = n_init
         self.n_candidates = n_candidates
         self.refit_every = refit_every
+        self.full_refit_every = full_refit_every
         self.gp = GaussianProcess(kernel=Matern52(lengthscale=0.3),
                                   noise=noise)
         self._since_refit = 0
+        self._since_full_refit = 0
         #: Extra observations donated by other sites (transfer learning).
         self._external: list[tuple[dict[str, Any], float]] = []
+        # Observations in arrival order (tells and absorbs interleaved):
+        # the GP is conditioned on this sequence, with _n_synced marking
+        # how many of them it has already seen.
+        self._arrivals: list[tuple[dict[str, Any], float]] = []
+        self._n_synced = 0
 
     # -- knowledge integration hooks -----------------------------------------------
+
+    def tell(self, params: Mapping[str, Any], objective: float) -> None:
+        super().tell(params, objective)
+        self._arrivals.append((dict(params), float(objective)))
 
     def absorb(self, params: Mapping[str, Any], objective: float) -> None:
         """Add an observation from elsewhere (does not count as ours)."""
         self._external.append((dict(params), float(objective)))
+        self._arrivals.append((dict(params), float(objective)))
 
     def _all_observations(self) -> list[tuple[dict[str, Any], float]]:
         return self.history + self._external
+
+    # -- surrogate maintenance ---------------------------------------------------------
+
+    def _encode_arrivals(self) -> tuple[np.ndarray, np.ndarray]:
+        X = np.array([self.space.encode(p) for p, _ in self._arrivals])
+        y = np.array([v for _, v in self._arrivals])
+        return X, y
+
+    def _sync_surrogate(self) -> None:
+        """Bring the GP up to date with the newest observations.
+
+        Grid refits (every ``refit_every`` asks) go through the cached
+        distance grid; between them, new points stream in as rank-1
+        updates, with a scratch refactorization every
+        ``full_refit_every`` updates for numerical hygiene.
+        """
+        self._since_refit += 1
+        if self._since_refit >= self.refit_every or self.gp.n_observations == 0:
+            X, y = self._encode_arrivals()
+            self.gp.fit_hyperparameters(X, y)
+            self._n_synced = len(self._arrivals)
+            self._since_refit = 0
+            self._since_full_refit = 0
+            return
+        pending = self._arrivals[self._n_synced:]
+        if (self._since_full_refit + len(pending) >= self.full_refit_every
+                and pending):
+            X, y = self._encode_arrivals()
+            self.gp.fit(X, y)
+            self._n_synced = len(self._arrivals)
+            self._since_full_refit = 0
+            return
+        for params, value in pending:
+            self.gp.observe(self.space.encode(params), value)
+        self._n_synced = len(self._arrivals)
+        self._since_full_refit += len(pending)
 
     # -- ask/tell ----------------------------------------------------------------------
 
@@ -70,14 +131,8 @@ class BayesianOptimizer(AskTellOptimizer):
         observations = self._all_observations()
         if len(observations) < self.n_init:
             return self.space.sample(self.rng)
-        X = np.array([self.space.encode(p) for p, _ in observations])
-        y = np.array([v for _, v in observations])
-        self._since_refit += 1
-        if self._since_refit >= self.refit_every or self.gp.n_observations == 0:
-            self.gp.fit_hyperparameters(X, y)
-            self._since_refit = 0
-        else:
-            self.gp.fit(X, y)
+        self._sync_surrogate()
+        y_best = max(v for _, v in observations)
         candidates = [self.space.sample(self.rng)
                       for _ in range(self.n_candidates)]
         # Local exploitation: jitter the incumbent into the pool.
@@ -88,7 +143,7 @@ class BayesianOptimizer(AskTellOptimizer):
                                   for _ in range(8))
         Xc = np.array([self.space.encode(p) for p in candidates])
         scores = score_candidates(self.acquisition, self.gp, Xc,
-                                  best=float(np.max(y)), rng=self.rng)
+                                  best=float(y_best), rng=self.rng)
         return candidates[int(np.argmax(scores))]
 
     def _perturb(self, params: Mapping[str, Any],
@@ -104,12 +159,12 @@ class BayesianOptimizer(AskTellOptimizer):
 
     def posterior_at(self, params: Mapping[str, Any]) -> tuple[float, float]:
         """Surrogate (mean, std) at a point — used by verification."""
-        observations = self._all_observations()
-        if len(observations) < 2:
+        if len(self._arrivals) < 2:
             return 0.0, float("inf")
-        X = np.array([self.space.encode(p) for p, _ in observations])
-        y = np.array([v for _, v in observations])
+        X, y = self._encode_arrivals()
         self.gp.fit(X, y)
+        self._n_synced = len(self._arrivals)
+        self._since_full_refit = 0
         mean, std = self.gp.predict(
             self.space.encode(dict(params))[None, :])
         return float(mean[0]), float(std[0])

@@ -4,6 +4,20 @@ A standard exact GP: Cholesky-factored covariance with observation noise,
 posterior mean/std prediction, log marginal likelihood, and a small
 grid-search hyperparameter fit — the "Gaussian processes for uncertainty
 quantification" the paper's agents orchestrate (§3.3).
+
+The surrogate is the hot path of every campaign loop (E5/E10/E12 run it
+hundreds of times per seed), so it carries three fast paths, all
+measured by :mod:`repro.perf`:
+
+- :meth:`GaussianProcess.observe` appends one observation by a rank-1
+  Cholesky update — O(n²) instead of the O(n³) refit;
+- :meth:`GaussianProcess.fit_hyperparameters` computes the pairwise
+  distance matrix **once** per grid search and derives every
+  (lengthscale, amplitude) candidate from it by elementwise ops
+  (:meth:`~repro.methods.kernels._Stationary.from_unit_sqdist`);
+- :meth:`GaussianProcess.predict` reads the prior variance from
+  :meth:`~repro.methods.kernels._Stationary.diag` instead of building an
+  m×m query covariance for its diagonal.
 """
 
 from __future__ import annotations
@@ -11,9 +25,9 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
-from scipy.linalg import cho_factor, cho_solve
+from scipy.linalg import cho_factor, cho_solve, solve_triangular
 
-from repro.methods.kernels import RBF
+from repro.methods.kernels import RBF, _sqdist
 
 
 class GaussianProcess:
@@ -32,7 +46,8 @@ class GaussianProcess:
     Notes
     -----
     Fitting is :math:`O(n^3)`; AISLE campaigns observe hundreds of points,
-    where exact GPs are the method of choice.
+    where exact GPs are the method of choice.  Appending observations via
+    :meth:`observe` is :math:`O(n^2)` per point.
     """
 
     def __init__(self, kernel=None, noise: float = 1e-2,
@@ -43,16 +58,34 @@ class GaussianProcess:
         self.noise = float(noise)
         self.normalize_y = normalize_y
         self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._z: Optional[np.ndarray] = None
         self._alpha: Optional[np.ndarray] = None
         self._chol = None
         self._y_mean = 0.0
         self._y_std = 1.0
+        # Unit-lengthscale squared-distance matrix over the training set,
+        # maintained by fit_hyperparameters/observe so repeated grid
+        # searches never recompute the O(n²·d) expansion.
+        self._d2_unit: Optional[np.ndarray] = None
+        self._last_grid_lml: Optional[float] = None
+        #: Factorization counters (read by tests and repro.perf).
+        self.n_factorizations = 0
+        self.n_incremental_updates = 0
 
     # -- fitting ------------------------------------------------------------------
 
     @property
     def n_observations(self) -> int:
         return 0 if self._X is None else self._X.shape[0]
+
+    def _normalize(self, y: np.ndarray) -> np.ndarray:
+        if self.normalize_y:
+            self._y_mean = float(np.mean(y))
+            self._y_std = float(np.std(y)) or 1.0
+        else:
+            self._y_mean, self._y_std = 0.0, 1.0
+        return (y - self._y_mean) / self._y_std
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcess":
         """Condition the GP on observations (replaces prior data)."""
@@ -62,23 +95,76 @@ class GaussianProcess:
             raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
         if X.shape[0] == 0:
             raise ValueError("need at least one observation")
-        if self.normalize_y:
-            self._y_mean = float(np.mean(y))
-            self._y_std = float(np.std(y)) or 1.0
-        else:
-            self._y_mean, self._y_std = 0.0, 1.0
-        z = (y - self._y_mean) / self._y_std
+        z = self._normalize(y)
         K = self.kernel(X, X)
         K[np.diag_indices_from(K)] += self.noise ** 2
         self._chol = cho_factor(K, lower=True)
+        self.n_factorizations += 1
         self._alpha = cho_solve(self._chol, z)
         self._X = X
+        self._y = y
         self._z = z
+        self._d2_unit = None
+        return self
+
+    def observe(self, x: np.ndarray, y: float) -> "GaussianProcess":
+        """Append one observation by a rank-1 Cholesky update — O(n²).
+
+        Equivalent (to numerical precision) to refitting on the
+        concatenated data with the current kernel, at O(n²) instead of
+        O(n³): the factor gains one row via a triangular solve, and the
+        weights are re-solved against the (re-standardized) targets.
+        Falls back to a full :meth:`fit` on the first observation or if
+        the update would lose positive-definiteness.
+        """
+        x = np.asarray(x, dtype=np.float64).reshape(1, -1)
+        if self._X is None:
+            return self.fit(x, np.asarray([y], dtype=np.float64))
+        if x.shape[1] != self._X.shape[1]:
+            raise ValueError(
+                f"x has {x.shape[1]} features but the GP was fit on "
+                f"{self._X.shape[1]}")
+        n = self._X.shape[0]
+        k = self.kernel(self._X, x).ravel()
+        kss = float(self.kernel.diag(x)[0]) + self.noise ** 2
+        L = self._chol[0]
+        w = solve_triangular(L, k, lower=True, check_finite=False)
+        d2 = kss - float(w @ w)
+        new_X = np.vstack([self._X, x])
+        new_y = np.append(self._y, float(y))
+        if d2 <= 1e-10 * kss:
+            # Numerically degenerate append (e.g. duplicate point):
+            # refactor from scratch rather than poison the factor.
+            return self.fit(new_X, new_y)
+        L_new = np.zeros((n + 1, n + 1))
+        L_new[:n, :n] = L
+        L_new[n, :n] = w
+        L_new[n, n] = np.sqrt(d2)
+        self._chol = (L_new, True)
+        self.n_incremental_updates += 1
+        self._X = new_X
+        self._y = new_y
+        self._z = self._normalize(new_y)
+        self._alpha = cho_solve(self._chol, self._z, check_finite=False)
+        if self._d2_unit is not None:
+            old = self._d2_unit
+            grown = np.empty((n + 1, n + 1))
+            grown[:n, :n] = old
+            col = _sqdist(self._X[:n], x, 1.0).ravel()
+            grown[:n, n] = col
+            grown[n, :n] = col
+            grown[n, n] = 0.0
+            self._d2_unit = grown
         return self
 
     def predict(self, Xs: np.ndarray,
                 return_std: bool = True) -> tuple[np.ndarray, np.ndarray]:
-        """Posterior mean (and std) at query points."""
+        """Posterior mean (and std) at query points.
+
+        With ``return_std=False`` only the mean is computed: the
+        Cholesky-solve path is skipped entirely and the second element is
+        an array of zeros (the mean is identical either way).
+        """
         if self._X is None:
             raise RuntimeError("fit() before predict()")
         Xs = np.atleast_2d(np.asarray(Xs, dtype=np.float64))
@@ -87,9 +173,13 @@ class GaussianProcess:
         mean = mean * self._y_std + self._y_mean
         if not return_std:
             return mean, np.zeros_like(mean)
-        v = cho_solve(self._chol, Ks.T)
-        prior_var = np.diag(self.kernel(Xs, Xs))
-        var = np.maximum(prior_var - np.sum(Ks * v.T, axis=1), 1e-12)
+        # One triangular solve: var = k(x,x) - ||L^{-1} k_*||², reading
+        # the prior variance from the kernel diagonal (O(m)) instead of
+        # materializing the m×m query covariance.
+        w = solve_triangular(self._chol[0], Ks.T, lower=True,
+                             check_finite=False)
+        prior_var = self.kernel.diag(Xs)
+        var = np.maximum(prior_var - np.sum(w * w, axis=0), 1e-12)
         std = np.sqrt(var) * self._y_std
         return mean, std
 
@@ -115,7 +205,7 @@ class GaussianProcess:
 
     def log_marginal_likelihood(self) -> float:
         """LML of the standardized targets under the current kernel."""
-        if self._X is None:
+        if self._X is None or self._z is None:
             raise RuntimeError("fit() before computing the LML")
         L = self._chol[0]
         n = self._X.shape[0]
@@ -124,26 +214,110 @@ class GaussianProcess:
                      - 0.5 * n * np.log(2 * np.pi))
 
     def fit_hyperparameters(
-            self, X: np.ndarray, y: np.ndarray,
+            self, X: Optional[np.ndarray] = None,
+            y: Optional[np.ndarray] = None,
             lengthscales: tuple[float, ...] = (0.05, 0.1, 0.2, 0.4, 0.8),
-            amplitudes: tuple[float, ...] = (0.5, 1.0, 2.0)
+            amplitudes: tuple[float, ...] = (0.5, 1.0, 2.0), *,
+            exact: bool = True,
+            early_exit_tol: Optional[float] = None
     ) -> "GaussianProcess":
         """Grid-search kernel hyperparameters by marginal likelihood.
 
         A deliberately small, deterministic grid: cheap enough to rerun at
         every campaign iteration, good enough to adapt to the landscape's
         scale (the guides' advice — measure, don't over-engineer).
+
+        The grid shares work instead of rebuilding the kernel matrix per
+        candidate.  In ``exact`` mode (default) each lengthscale's
+        distance matrix and unit-amplitude base are computed once and the
+        amplitude candidates are exact rescalings — bit-identical to
+        evaluating every candidate from scratch, so campaign decision
+        sequences are unchanged.  With ``exact=False`` the whole grid is
+        derived from a single unit-lengthscale distance matrix (cached
+        across calls and grown in place by :meth:`observe`) — the fastest
+        path, equal only to floating-point precision.  Either way the
+        incumbent kernel is never mutated mid-search: a candidate whose
+        factorization fails is skipped, and the GP state only changes
+        once a winner exists.
+
+        Parameters
+        ----------
+        X, y:
+            Training data; ``None`` reuses the data the GP already holds
+            (from a prior ``fit``/``observe`` chain).
+        exact:
+            ``True`` — per-lengthscale sharing, bit-identical selection;
+            ``False`` — everything derived from the cached
+            unit-lengthscale distance matrix.
+        early_exit_tol:
+            When set, the incumbent kernel is scored first and kept —
+            skipping the rest of the grid — if its LML is within this
+            tolerance of the best LML the previous grid search found.
+            ``None`` (default) always scans the full grid.
         """
-        best_lml, best_kernel = -np.inf, self.kernel
-        for l in lengthscales:
-            for a in amplitudes:
-                self.kernel = self.kernel.with_params(l, a)
-                try:
-                    self.fit(X, y)
-                except np.linalg.LinAlgError:  # pragma: no cover - guard
-                    continue
-                lml = self.log_marginal_likelihood()
-                if lml > best_lml:
-                    best_lml, best_kernel = lml, self.kernel
-        self.kernel = best_kernel
-        return self.fit(X, y)
+        if X is None:
+            if self._X is None:
+                raise RuntimeError("no data: pass X, y or fit() first")
+            X, y = self._X, self._y
+            d2_unit = self._d2_unit
+        else:
+            X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+            y = np.asarray(y, dtype=np.float64).ravel()
+            if X.shape[0] != y.shape[0]:
+                raise ValueError(
+                    f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+            if X.shape[0] == 0:
+                raise ValueError("need at least one observation")
+            d2_unit = None
+        if not exact and d2_unit is None:
+            d2_unit = _sqdist(X, X, 1.0)
+        z = self._normalize(y)
+        n = X.shape[0]
+        noise_var = self.noise ** 2
+        const = -0.5 * n * np.log(2 * np.pi)
+        diag_idx = np.diag_indices(n)
+
+        def factor(K):
+            """(lml, chol, alpha) for one candidate matrix, or None."""
+            K[diag_idx] += noise_var
+            try:
+                chol = cho_factor(K, lower=True)
+            except np.linalg.LinAlgError:
+                return None
+            self.n_factorizations += 1
+            alpha = cho_solve(chol, z, check_finite=False)
+            lml = float(-0.5 * z @ alpha
+                        - np.sum(np.log(np.diag(chol[0]))) + const)
+            return lml, chol, alpha
+
+        best = None  # (lml, kernel, chol, alpha)
+        if early_exit_tol is not None and self._last_grid_lml is not None:
+            incumbent = self.kernel
+            K = (incumbent.from_unit_sqdist(d2_unit) if not exact
+                 else incumbent(X, X))
+            scored = factor(K)
+            if (scored is not None
+                    and scored[0] >= self._last_grid_lml - early_exit_tol):
+                best = (scored[0], incumbent, scored[1], scored[2])
+        if best is None:
+            for l in lengthscales:
+                base = None
+                for a in amplitudes:
+                    candidate = self.kernel.with_params(l, a)
+                    if base is None:
+                        base = (candidate._base(d2_unit * (1.0 / (l * l)))
+                                if not exact
+                                else candidate._base(_sqdist(X, X, l)))
+                    scored = factor(candidate.amplitude ** 2 * base)
+                    if scored is not None and (best is None
+                                               or scored[0] > best[0]):
+                        best = (scored[0], candidate, scored[1], scored[2])
+        if best is None:
+            # Every candidate failed to factor: leave the kernel exactly
+            # as it was and let a plain fit surface the numerical problem.
+            return self.fit(X, y)
+        lml, self.kernel, self._chol, self._alpha = best
+        self._X, self._y, self._z = X, y, z
+        self._d2_unit = d2_unit
+        self._last_grid_lml = lml
+        return self

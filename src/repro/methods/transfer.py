@@ -7,6 +7,12 @@ raw foreign observations are biased.  The :class:`TransferAdapter`
 estimates a per-source affine correction from co-observed (or nearby)
 conditions and rescales donations before feeding them to the local
 optimizer.
+
+Offset estimation is the adapter's hot path (federated campaigns call it
+once per sharing round per source): encoded observations are kept in
+incrementally-grown arrays and the neighbor search runs as one vectorized
+distance computation over all donations, instead of re-stacking the local
+history and looping donation-by-donation.
 """
 
 from __future__ import annotations
@@ -16,6 +22,34 @@ from typing import Any, Mapping, Optional
 import numpy as np
 
 from repro.labsci.landscapes import ParameterSpace
+
+
+class _Donations:
+    """Per-source donation store with an incrementally-built matrix."""
+
+    __slots__ = ("values", "params", "_rows", "_X")
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+        self.params: list[dict[str, Any]] = []
+        self._rows: list[np.ndarray] = []
+        self._X: Optional[np.ndarray] = None
+
+    def append(self, x: np.ndarray, value: float,
+               params: dict[str, Any]) -> None:
+        self._rows.append(x)
+        self.values.append(value)
+        self.params.append(params)
+        self._X = None
+
+    @property
+    def X(self) -> np.ndarray:
+        if self._X is None:
+            self._X = np.array(self._rows)
+        return self._X
+
+    def __len__(self) -> int:
+        return len(self.values)
 
 
 class TransferAdapter:
@@ -38,37 +72,53 @@ class TransferAdapter:
         self.space = space
         self.min_pairs = min_pairs
         self.neighbor_scale = neighbor_scale
-        self._local: list[tuple[np.ndarray, float]] = []
-        self._foreign: dict[str, list[tuple[np.ndarray, float, dict[str, Any]]]] = {}
+        self._local_rows: list[np.ndarray] = []
+        self._local_values: list[float] = []
+        self._local_X: Optional[np.ndarray] = None
+        self._local_y: Optional[np.ndarray] = None
+        self._foreign: dict[str, _Donations] = {}
         self.stats = {"received": 0, "corrected": 0, "passthrough": 0}
 
     # -- feeding the adapter ---------------------------------------------------------
 
     def observe_local(self, params: Mapping[str, Any], value: float) -> None:
-        self._local.append((self.space.encode(params), float(value)))
+        self._local_rows.append(self.space.encode(params))
+        self._local_values.append(float(value))
+        self._local_X = None
+        self._local_y = None
 
     def receive(self, source: str, params: Mapping[str, Any],
                 value: float) -> None:
         """Record a donation from another site (raw, uncorrected)."""
         self.stats["received"] += 1
-        self._foreign.setdefault(source, []).append(
-            (self.space.encode(params), float(value), dict(params)))
+        store = self._foreign.get(source)
+        if store is None:
+            store = self._foreign[source] = _Donations()
+        store.append(self.space.encode(params), float(value), dict(params))
+
+    def _local_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._local_X is None:
+            self._local_X = np.array(self._local_rows)
+            self._local_y = np.array(self._local_values)
+        return self._local_X, self._local_y
 
     # -- offset estimation ---------------------------------------------------------------
 
     def _estimate_offset(self, source: str) -> Optional[float]:
         """Mean (local - foreign) over near-coincident condition pairs."""
-        donations = self._foreign.get(source, [])
-        if not donations or not self._local:
+        donations = self._foreign.get(source)
+        if not donations or not self._local_rows:
             return None
+        local_X, local_y = self._local_arrays()
+        # One vectorized (n_local, n_donations) distance computation in
+        # place of a Python loop of per-donation norms.
+        diff = local_X[:, None, :] - donations.X[None, :, :]
+        near = np.linalg.norm(diff, axis=2) < self.neighbor_scale
         deltas = []
-        local_X = np.array([x for x, _ in self._local])
-        local_y = np.array([y for _, y in self._local])
-        for fx, fy, _params in donations:
-            d = np.linalg.norm(local_X - fx[None, :], axis=1)
-            near = d < self.neighbor_scale
-            if np.any(near):
-                deltas.append(float(np.mean(local_y[near])) - fy)
+        for j, fy in enumerate(donations.values):
+            mask = near[:, j]
+            if mask.any():
+                deltas.append(float(np.mean(local_y[mask])) - fy)
         if len(deltas) < self.min_pairs:
             return None
         return float(np.median(deltas))
@@ -84,10 +134,12 @@ class TransferAdapter:
         them as weak evidence — better than nothing, per M9's goal of
         reducing required experiments).
         """
-        donations = self._foreign.get(source, [])
+        donations = self._foreign.get(source)
+        if donations is None:
+            return []
         offset = self._estimate_offset(source)
         out = []
-        for _x, value, params in donations:
+        for value, params in zip(donations.values, donations.params):
             if offset is not None:
                 self.stats["corrected"] += 1
                 out.append((params, value + offset))

@@ -1,0 +1,27 @@
+"""Deterministic performance harness for the repro stack.
+
+The fast-path work on the surrogate stack (incremental GP updates,
+kernel-matrix caching, diagonal-only prediction — see
+:mod:`repro.methods.gp`) is only trustworthy if it is *measured*:
+
+- :mod:`repro.perf.legacy` freezes the pre-optimization surrogate stack
+  so the comparison baseline ships with the repo;
+- :mod:`repro.perf.workloads` defines seeded workloads whose gates are
+  same-run fast-vs-legacy speedup ratios (machine-independent);
+- :mod:`repro.perf.harness` times them, emits a versioned report
+  (``BENCH_PERF.json``), and compares against a committed baseline;
+- ``python -m repro.perf`` is the CLI (see :mod:`repro.perf.__main__`).
+"""
+
+from repro.perf.harness import (SCHEMA_VERSION, PerfHarness, compare_reports,
+                                load_report, write_report)
+from repro.perf.workloads import WORKLOADS
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PerfHarness",
+    "WORKLOADS",
+    "compare_reports",
+    "load_report",
+    "write_report",
+]

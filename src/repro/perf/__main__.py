@@ -1,0 +1,82 @@
+"""CLI for the perf harness: ``python -m repro.perf``.
+
+Examples
+--------
+Full run, write the committed benchmark file::
+
+    PYTHONPATH=src python -m repro.perf --output BENCH_PERF.json
+
+CI smoke: quick workloads, fail on >20% regression vs the baseline::
+
+    PYTHONPATH=src python -m repro.perf --quick \\
+        --baseline BENCH_PERF.json --threshold 0.2 --output bench_now.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.harness import (PerfHarness, compare_reports, load_report,
+                                write_report)
+from repro.perf.workloads import WORKLOADS
+
+
+def _format(report: dict) -> str:
+    lines = []
+    for name, result in report["workloads"].items():
+        lines.append(f"{name}:")
+        for metric, value in result["metrics"].items():
+            lines.append(f"  {metric:<28} {value:g}")
+        for gate, value in result["gates"].items():
+            lines.append(f"  {gate:<28} {value:.2f}x  [gate]")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Deterministic perf harness for the AISLE repro stack.")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrunken workloads for CI smoke runs")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="runs per workload (default: 1 quick, 3 full)")
+    parser.add_argument("--workloads", default=None,
+                        help=f"comma-separated subset of {sorted(WORKLOADS)}")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--baseline", default=None,
+                        help="compare gates against this committed report")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional gate regression (default .2)")
+    args = parser.parse_args(argv)
+
+    names = args.workloads.split(",") if args.workloads else None
+    try:
+        harness = PerfHarness(quick=args.quick, seed=args.seed,
+                              repeats=args.repeats, workloads=names)
+    except ValueError as exc:
+        parser.error(str(exc))
+    report = harness.run()
+    print(_format(report))
+
+    if args.output:
+        write_report(report, args.output)
+        print(f"\nwrote {args.output}")
+
+    if args.baseline:
+        problems = compare_reports(report, load_report(args.baseline),
+                                   threshold=args.threshold)
+        if problems:
+            print(f"\nPERF REGRESSION vs {args.baseline}:", file=sys.stderr)
+            for p in problems:
+                print(f"  - {p}", file=sys.stderr)
+            return 1
+        print(f"\nno regressions vs {args.baseline} "
+              f"(threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Frozen pre-optimization surrogate stack — the perf-harness reference.
+
+This module is a verbatim snapshot of ``repro.methods.gp`` /
+``repro.methods.kernels`` as they stood *before* the fast-path work
+(incremental Cholesky updates, kernel-matrix caching, ``Kernel.diag``):
+every fit is a from-scratch :math:`O(n^3)` factorization, the
+hyperparameter grid rebuilds the full pairwise-distance matrix for every
+(lengthscale, amplitude) pair, and ``predict`` materializes an m×m query
+covariance just to read its diagonal.
+
+It exists so the harness can measure the optimized stack against the real
+pre-PR baseline *on the same machine, in the same process, on the same
+seeded workload* — the only comparison that makes a "≥3× faster" claim
+reproducible.  Do not "fix" or optimize this module; its slowness is the
+point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+
+
+def _legacy_sqdist(a: np.ndarray, b: np.ndarray,
+                   lengthscale: float) -> np.ndarray:
+    a = np.atleast_2d(a) / lengthscale
+    b = np.atleast_2d(b) / lengthscale
+    aa = np.sum(a * a, axis=1)[:, None]
+    bb = np.sum(b * b, axis=1)[None, :]
+    d2 = aa + bb - 2.0 * (a @ b.T)
+    return np.maximum(d2, 0.0)
+
+
+class LegacyRBF:
+    """Pre-PR squared-exponential kernel (no caching, no diag shortcut)."""
+
+    def __init__(self, lengthscale: float = 0.2,
+                 amplitude: float = 1.0) -> None:
+        self.lengthscale = float(lengthscale)
+        self.amplitude = float(amplitude)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        d2 = _legacy_sqdist(a, b, self.lengthscale)
+        return self.amplitude ** 2 * np.exp(-0.5 * d2)
+
+    def with_params(self, lengthscale: float, amplitude: float) -> "LegacyRBF":
+        return LegacyRBF(lengthscale, amplitude)
+
+
+class LegacyMatern52:
+    """Pre-PR Matern-5/2 kernel (no caching, no diag shortcut)."""
+
+    def __init__(self, lengthscale: float = 0.2,
+                 amplitude: float = 1.0) -> None:
+        self.lengthscale = float(lengthscale)
+        self.amplitude = float(amplitude)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        d = np.sqrt(_legacy_sqdist(a, b, self.lengthscale))
+        s5d = np.sqrt(5.0) * d
+        return (self.amplitude ** 2
+                * (1.0 + s5d + (5.0 / 3.0) * d * d) * np.exp(-s5d))
+
+    def with_params(self, lengthscale: float,
+                    amplitude: float) -> "LegacyMatern52":
+        return LegacyMatern52(lengthscale, amplitude)
+
+
+class LegacyGaussianProcess:
+    """Pre-PR exact GP: full refit on every data change."""
+
+    def __init__(self, kernel=None, noise: float = 1e-2,
+                 normalize_y: bool = True) -> None:
+        if noise <= 0:
+            raise ValueError("noise must be > 0")
+        self.kernel = kernel or LegacyRBF()
+        self.noise = float(noise)
+        self.normalize_y = normalize_y
+        self._X: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._chol = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    @property
+    def n_observations(self) -> int:
+        return 0 if self._X is None else self._X.shape[0]
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LegacyGaussianProcess":
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if self.normalize_y:
+            self._y_mean = float(np.mean(y))
+            self._y_std = float(np.std(y)) or 1.0
+        else:
+            self._y_mean, self._y_std = 0.0, 1.0
+        z = (y - self._y_mean) / self._y_std
+        K = self.kernel(X, X)
+        K[np.diag_indices_from(K)] += self.noise ** 2
+        self._chol = cho_factor(K, lower=True)
+        self._alpha = cho_solve(self._chol, z)
+        self._X = X
+        self._z = z
+        return self
+
+    def predict(self, Xs: np.ndarray,
+                return_std: bool = True) -> tuple[np.ndarray, np.ndarray]:
+        if self._X is None:
+            raise RuntimeError("fit() before predict()")
+        Xs = np.atleast_2d(np.asarray(Xs, dtype=np.float64))
+        Ks = self.kernel(Xs, self._X)
+        mean = Ks @ self._alpha
+        mean = mean * self._y_std + self._y_mean
+        if not return_std:
+            return mean, np.zeros_like(mean)
+        v = cho_solve(self._chol, Ks.T)
+        # The pre-PR inefficiency under test: an m×m matrix for a diagonal.
+        prior_var = np.diag(self.kernel(Xs, Xs))
+        var = np.maximum(prior_var - np.sum(Ks * v.T, axis=1), 1e-12)
+        std = np.sqrt(var) * self._y_std
+        return mean, std
+
+    def log_marginal_likelihood(self) -> float:
+        if self._X is None:
+            raise RuntimeError("fit() before computing the LML")
+        L = self._chol[0]
+        n = self._X.shape[0]
+        return float(-0.5 * self._z @ self._alpha
+                     - np.sum(np.log(np.diag(L)))
+                     - 0.5 * n * np.log(2 * np.pi))
+
+    def fit_hyperparameters(
+            self, X: np.ndarray, y: np.ndarray,
+            lengthscales: tuple[float, ...] = (0.05, 0.1, 0.2, 0.4, 0.8),
+            amplitudes: tuple[float, ...] = (0.5, 1.0, 2.0)
+    ) -> "LegacyGaussianProcess":
+        best_lml, best_kernel = -np.inf, self.kernel
+        for l in lengthscales:
+            for a in amplitudes:
+                self.kernel = self.kernel.with_params(l, a)
+                try:
+                    self.fit(X, y)
+                except np.linalg.LinAlgError:  # pragma: no cover - guard
+                    continue
+                lml = self.log_marginal_likelihood()
+                if lml > best_lml:
+                    best_lml, best_kernel = lml, self.kernel
+        self.kernel = best_kernel
+        return self.fit(X, y)

@@ -141,6 +141,8 @@ class Timeout(Event):
 class ConditionValue:
     """Ordered mapping of child event -> value for composite conditions."""
 
+    __slots__ = ("events",)
+
     def __init__(self) -> None:
         self.events: list[Event] = []
 

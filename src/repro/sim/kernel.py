@@ -13,8 +13,11 @@ import heapq
 from typing import Any, Callable, Generator, Optional
 
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
-from repro.sim.ids import IdSequencer, bind_ambient
+from repro.sim.ids import _AMBIENT, IdSequencer, bind_ambient
 from repro.sim.process import Process
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class _CallbackEvent(Event):
@@ -130,10 +133,11 @@ class Simulator:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        at = self._now + delay
+        _heappush(self._queue, (at, self._seq, event))
         self._seq += 1
         if self.schedule_hook is not None:
-            self.schedule_hook(self._now + delay, event)
+            self.schedule_hook(at, event)
 
     def schedule_callback(
         self, delay: float, fn: Callable[[], Any], value: Any = None
@@ -154,9 +158,14 @@ class Simulator:
 
     def step(self) -> None:
         """Process exactly one event from the queue."""
-        bind_ambient(self.ids)
+        # Inlined bind_ambient: the rebind is skipped when the ambient
+        # world is already this one — the common case inside run(), where
+        # it would otherwise cost a function call per event.
+        ids = self.ids
+        if _AMBIENT.get() is not ids:
+            _AMBIENT.set(ids)
         try:
-            self._now, _, event = heapq.heappop(self._queue)
+            self._now, _, event = _heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
 
@@ -203,9 +212,13 @@ class Simulator:
                     raise ValueError(
                         f"until={stop_at} is in the past (now={self._now})")
 
+        # Hot loop: hoist the queue and bound method to locals so each
+        # iteration costs two lookups instead of five attribute chases.
+        queue = self._queue
+        step = self.step
         try:
-            while self._queue and self._queue[0][0] <= stop_at:
-                self.step()
+            while queue and queue[0][0] <= stop_at:
+                step()
         except StopSimulation as stop:
             return stop.args[0] if stop.args else None
         if stop_at is not _INFINITY:

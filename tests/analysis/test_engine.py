@@ -207,7 +207,13 @@ def test_detlint_self_check_repo_is_clean():
     assert report.parse_errors == []
     offenders = "\n".join(f.render() for f in report.unsuppressed)
     assert not report.unsuppressed, f"detlint findings:\n{offenders}"
-    # Every suppression in the tree carries its pragma deliberately; today
-    # there is exactly one (the documented no-world fallback in sim/ids).
+    # Every suppression in the tree carries its pragma deliberately; the
+    # inventory is pinned so a new pragma is an explicit decision here:
+    # - sim/ids.py D001: the documented no-world fallback sequencer;
+    # - perf/harness.py D002: the perf harness's one wall-clock read.
+    sanctioned = {("ids.py", "D001"), ("harness.py", "D002")}
     suppressed = [f for f in report.findings if f.suppressed]
-    assert all("ids.py" in f.path for f in suppressed)
+    assert suppressed, "expected the sanctioned pragmas to be exercised"
+    for f in suppressed:
+        assert any(f.path.endswith(name) and f.code == code
+                   for name, code in sanctioned), f.render()

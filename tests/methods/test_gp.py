@@ -147,3 +147,84 @@ def test_property_gp_std_nonnegative_and_finite(n, seed):
     mean, std = gp.predict(rng.random((10, 2)))
     assert np.all(np.isfinite(mean))
     assert np.all(std >= 0)
+
+
+# -- fast-path behaviors (incremental stack, PR 4) -----------------------------
+
+def test_unfitted_lml_raises_runtime_error():
+    gp = GaussianProcess()
+    with pytest.raises(RuntimeError):
+        gp.log_marginal_likelihood()
+
+
+def test_predict_mean_only_skips_cholesky(rng):
+    X = rng.random((25, 3))
+    y = np.sin(5 * X[:, 0]) + X[:, 1]
+    Xq = rng.random((40, 3))
+    gp = GaussianProcess(RBF(lengthscale=0.3), noise=0.05).fit(X, y)
+    mean_full, std_full = gp.predict(Xq, return_std=True)
+    # Poison the factor: the mean-only path must never touch it.
+    gp._chol = None
+    mean_only, std_zero = gp.predict(Xq, return_std=False)
+    assert np.array_equal(mean_only, mean_full)
+    assert np.all(std_zero == 0.0)
+    assert np.all(std_full > 0.0)
+
+
+def test_failed_grid_never_half_swaps_kernel(rng, monkeypatch):
+    """A grid search that dies mid-scan must not mutate the incumbent."""
+    import repro.methods.gp as gp_mod
+
+    X = rng.random((15, 2))
+    y = np.sin(4 * X[:, 0])
+    original = RBF(lengthscale=0.33, amplitude=1.7)
+    gp = GaussianProcess(original, noise=0.05)
+
+    def always_fails(K, lower=True, **kw):
+        raise np.linalg.LinAlgError("synthetic factorization failure")
+
+    monkeypatch.setattr(gp_mod, "cho_factor", always_fails)
+    with pytest.raises(np.linalg.LinAlgError):
+        gp.fit_hyperparameters(X, y)
+    assert gp.kernel is original
+    assert gp.kernel.lengthscale == 0.33
+    assert gp.kernel.amplitude == 1.7
+
+
+@pytest.mark.parametrize("kernel_cls", [RBF, Matern52])
+def test_kernel_diag_matches_full_matrix(kernel_cls, rng):
+    k = kernel_cls(lengthscale=0.4, amplitude=1.3)
+    X = rng.random((12, 5))
+    assert np.allclose(k.diag(X), np.diag(k(X, X)))
+
+
+@pytest.mark.parametrize("kernel_cls", [RBF, Matern52])
+def test_kernel_from_unit_sqdist_matches_call(kernel_cls, rng):
+    from repro.methods.kernels import _sqdist
+    k = kernel_cls(lengthscale=0.17, amplitude=2.1)
+    a, b = rng.random((9, 4)), rng.random((7, 4))
+    derived = k.from_unit_sqdist(_sqdist(a, b, 1.0))
+    assert np.allclose(derived, k(a, b), rtol=1e-12)
+
+
+def test_grid_derived_mode_selects_same_kernel(rng):
+    X = rng.random((30, 3))
+    y = np.sin(6 * X[:, 0]) * np.cos(3 * X[:, 1])
+    exact = GaussianProcess(noise=0.05).fit_hyperparameters(X, y)
+    derived = GaussianProcess(noise=0.05).fit_hyperparameters(X, y,
+                                                              exact=False)
+    assert exact.kernel.lengthscale == derived.kernel.lengthscale
+    assert exact.kernel.amplitude == derived.kernel.amplitude
+    np.testing.assert_allclose(exact.log_marginal_likelihood(),
+                               derived.log_marginal_likelihood(), rtol=1e-9)
+
+
+def test_grid_early_exit_keeps_incumbent(rng):
+    X = rng.random((25, 2))
+    y = np.sin(5 * X[:, 0])
+    gp = GaussianProcess(noise=0.05).fit_hyperparameters(X, y)
+    winner = gp.kernel
+    before = gp.n_factorizations
+    gp.fit_hyperparameters(X, y, early_exit_tol=1.0)
+    assert gp.kernel is winner  # incumbent re-scored, grid skipped
+    assert gp.n_factorizations == before + 1
