@@ -16,7 +16,7 @@ offsets, which is what the corrected policy must overcome.
 
 import numpy as np
 
-from benchmarks.conftest import fmt, report
+from benchmarks.conftest import fmt, report, run_seeded
 from repro.core import (CampaignSpec, FederationManager,
                         experiments_to_target)
 from repro.core.metrics import reduction_fraction
@@ -32,7 +32,9 @@ def _landscape(site: str) -> PerovskiteLandscape:
     return PerovskiteLandscape(seed=5, site=site, calibration_scale=1.0)
 
 
-def _run(policy: str, seed: int):
+def _run(seed: int, config: dict):
+    """World entrypoint: one knowledge policy on one seed (picklable)."""
+    policy = config["policy"]
     fed = FederationManager(seed=seed, n_sites=4, objective_key="plqy")
     donors = [fed.add_lab(f"site-{i}", _landscape) for i in (0, 1)]
     joiner = fed.add_lab("site-2", _landscape)
@@ -56,16 +58,15 @@ def _run(policy: str, seed: int):
     proc = fed.sim.process(orch.run_campaign(spec))
     result = fed.sim.run(until=proc)
     needed = experiments_to_target(result, TARGET) or JOINER_BUDGET
-    return needed, result, kb
+    return {"needed": needed, "traces": list(kb.reasoning_traces())}
 
 
-def _trace_approval(kb, rng) -> float:
+def _trace_approval(traces: list, rng) -> float:
     """Panel approval of reasoning traces (M9's >90% criterion).
 
     A simulated reviewer approves a trace when it names its plan and
     carries a substantive rationale; 5% of reviews are harsh regardless.
     """
-    traces = kb.reasoning_traces()
     if not traces:
         return 0.0
     approvals = sum(
@@ -79,18 +80,18 @@ def test_e03_knowledge_integration(bench_once):
     policies = ("none", "raw", "corrected")
 
     def scenario():
-        return {p: [_run(p, seed) for seed in SEEDS] for p in policies}
+        return {p: run_seeded(_run, SEEDS, {"policy": p}) for p in policies}
 
     results = bench_once(scenario)
     rng = np.random.default_rng(0)
     means, rows, approval = {}, [], None
     for policy in policies:
         runs = results[policy]
-        needed = [n for n, _, _ in runs]
+        needed = [r["needed"] for r in runs]
         means[policy] = float(np.mean(needed))
         if policy == "corrected":
             approval = float(np.mean(
-                [_trace_approval(kb, rng) for _, _, kb in runs]))
+                [_trace_approval(r["traces"], rng) for r in runs]))
         rows.append([policy, " / ".join(map(str, needed)),
                      fmt(means[policy], 1),
                      fmt(reduction_fraction(means["none"], means[policy]), 2)])

@@ -21,7 +21,7 @@ import json
 import os
 from pathlib import Path
 
-from benchmarks.conftest import fmt, report
+from benchmarks.conftest import fmt, report, run_seeded
 from repro import Testbed
 from repro.agents import Supervisor
 from repro.core import CampaignSpec
@@ -32,7 +32,9 @@ BUDGET = 150
 SEEDS = (2, 9)
 
 
-def _run(tolerant: bool, seed: int):
+def _run(seed: int, config: dict):
+    """World entrypoint: one fault-injected campaign (picklable result)."""
+    tolerant = bool(config["tolerant"])
     primary_site = (Testbed(seed=seed, n_sites=3)
                     .site("site-0",
                           landscape=lambda s: QuantumDotLandscape(seed=7))
@@ -83,10 +85,8 @@ def _run(tolerant: bool, seed: int):
 
 def test_e11_fault_tolerance(bench_once):
     def scenario():
-        out = {}
-        for tolerant in (False, True):
-            out[tolerant] = [_run(tolerant, seed) for seed in SEEDS]
-        return out
+        return {tolerant: run_seeded(_run, SEEDS, {"tolerant": tolerant})
+                for tolerant in (False, True)}
 
     results = bench_once(scenario)
     rows = []

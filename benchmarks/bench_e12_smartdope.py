@@ -13,51 +13,56 @@ from DESIGN.md.
 
 import numpy as np
 
-from benchmarks.conftest import fmt, report
+from benchmarks.conftest import fmt, report, run_seeded
 from repro.labsci import QuantumDotLandscape
 from repro.methods import (BayesianOptimizer, GridSearch,
                            NestedBayesianOptimizer, RandomSearch)
 
 BUDGET = 150
 SEEDS = (0, 1, 2)
+STRATEGIES = ("nested-BO", "flat-BO", "random", "grid")
 
 
-def _optimize(make_opt, landscape, seed):
-    opt = make_opt(np.random.default_rng(seed))
+def _make_strategy(name: str, space, rng, acquisition=None):
+    if name == "nested-BO":
+        inner = {"acquisition": acquisition} if acquisition else None
+        return NestedBayesianOptimizer(space, rng, arm_subset=16,
+                                       inner_kwargs=inner)
+    if name == "flat-BO":
+        return BayesianOptimizer(space, rng, n_init=10, n_candidates=256)
+    if name == "random":
+        return RandomSearch(space, rng)
+    if name == "grid":
+        return GridSearch(space, points_per_dim=3)
+    raise ValueError(f"unknown strategy {name!r}")
+
+
+def _run_strategy(seed: int, config: dict) -> dict:
+    """World entrypoint: one strategy, one seed, full budget (picklable)."""
+    landscape = QuantumDotLandscape(seed=2)
+    opt = _make_strategy(config["strategy"], landscape.space,
+                         np.random.default_rng(seed),
+                         config.get("acquisition"))
     for _ in range(BUDGET):
         params = opt.ask()
         opt.tell(params, landscape.objective_value(params))
-    return opt.best[0], opt.best_trajectory()
+    return {"best": float(opt.best[0]),
+            "trajectory": [float(v) for v in opt.best_trajectory()]}
 
 
 def test_e12_smartdope(bench_once):
     landscape = QuantumDotLandscape(seed=2)
-    space = landscape.space
-
-    strategies = {
-        "nested-BO": lambda rng: NestedBayesianOptimizer(space, rng,
-                                                         arm_subset=16),
-        "flat-BO": lambda rng: BayesianOptimizer(space, rng, n_init=10,
-                                                 n_candidates=256),
-        "random": lambda rng: RandomSearch(space, rng),
-        "grid": lambda rng: GridSearch(space, points_per_dim=3),
-    }
 
     def scenario():
-        out = {}
-        for name, make in strategies.items():
-            runs = [_optimize(make, landscape, seed) for seed in SEEDS]
-            out[name] = runs
+        out = {name: run_seeded(_run_strategy, SEEDS, {"strategy": name})
+               for name in STRATEGIES}
         oracle, _ = landscape.best_estimate(n_random=20_000)
         # Acquisition ablation on the nested inner loop.
         ablation = {}
         for acq in ("ei", "ucb", "thompson"):
-            best, _ = _optimize(
-                lambda rng: NestedBayesianOptimizer(
-                    space, rng, arm_subset=16,
-                    inner_kwargs={"acquisition": acq}),
-                landscape, seed=7)
-            ablation[acq] = best
+            (run,) = run_seeded(_run_strategy, (7,),
+                                {"strategy": "nested-BO", "acquisition": acq})
+            ablation[acq] = run["best"]
         return out, oracle, ablation
 
     out, oracle, ablation = bench_once(scenario)
@@ -67,9 +72,9 @@ def test_e12_smartdope(bench_once):
     rows = []
     means = {}
     for name, runs in out.items():
-        bests = [b for b, _ in runs]
+        bests = [r["best"] for r in runs]
         means[name] = float(np.mean(bests))
-        at50 = float(np.mean([traj[49] for _, traj in runs]))
+        at50 = float(np.mean([r["trajectory"][49] for r in runs]))
         rows.append([name, fmt(means[name]), fmt(at50),
                      fmt(means[name] / oracle, 2)])
     report(

@@ -10,6 +10,23 @@ wins, by roughly what factor) per the reproduction contract.
 
 import pytest
 
+from repro.scale import WorldRunner, WorldSpec
+
+
+def run_seeded(entrypoint, seeds, config=None, workers=None):
+    """Fan a ``(seed, config) -> data`` world across seeds, in seed order.
+
+    The sanctioned multi-seed path for benchmarks: honours the
+    ``REPRO_WORKERS`` knob (default serial), and because every result
+    carries a decision hash, ``REPRO_WORKERS=4`` runs are checkably
+    identical to serial ones (see the CI ``parallel-equivalence`` job).
+    Entrypoints must be module-level and return plain picklable data.
+    """
+    runner = WorldRunner(workers)
+    batch = runner.run(WorldSpec(seed=int(s), entrypoint=entrypoint,
+                                 config=dict(config or {})) for s in seeds)
+    return batch.values
+
 
 def report(title: str, header: list[str], rows: list[list]) -> None:
     """Print one experiment's results table."""

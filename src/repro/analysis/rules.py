@@ -1,4 +1,4 @@
-"""The detlint rule set: AST checks for determinism hazards (D001–D005).
+"""The detlint rule set: AST checks for determinism hazards (D001–D006).
 
 Each rule is a small class with a stable code, a one-line title, and a
 fix hint.  Rules receive a parsed module plus a :class:`ModuleContext`
@@ -21,6 +21,7 @@ D002  wall-clock access inside simulation code
 D003  unseeded randomness bypassing ``sim.rng.RngRegistry``
 D004  iteration over a ``set`` (order feeds downstream behaviour)
 D005  ``id()``/``hash()`` of an object used as an ordering key
+D006  process fan-out bypassing ``repro.scale.WorldRunner``
 ====  =========================================================
 """
 
@@ -491,12 +492,67 @@ class ObjectIdentityOrdering(Rule):
                                   f"address-dependent")
 
 
+# -- D006 ----------------------------------------------------------------------
+
+_PROCESS_SPAWN_CALLS = frozenset({
+    "concurrent.futures.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.Process",
+    "multiprocessing.Manager",
+    "multiprocessing.Queue",
+    "multiprocessing.Pipe",
+    "multiprocessing.get_context",
+    "os.fork",
+})
+
+
+class UnsanctionedProcessFanout(Rule):
+    """D006: process-pool primitives outside :class:`WorldRunner`.
+
+    A raw pool reintroduces everything the determinism contract forbids:
+    completion-order result collection, inherited global state, and
+    unhashed per-world outputs.  :class:`repro.scale.WorldRunner` is the
+    one audited call site — it pins the start method, returns results in
+    spec order, and decision-hashes every world so serial/parallel
+    equivalence stays checkable.  Its own pool lines carry the pragma;
+    everywhere else the import or call is a finding.
+    """
+
+    code = "D006"
+    title = "process fan-out bypassing repro.scale.WorldRunner"
+    hint = ("fan seeded worlds out through repro.scale.WorldRunner (the "
+            "audited, hash-verified pool call site)")
+
+    def check(self, module: ast.Module,
+              ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "multiprocessing":
+                        yield self.violation(
+                            node, f"import of {alias.name!r}: spawn "
+                                  f"processes via repro.scale.WorldRunner")
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0 \
+                    and node.module.split(".")[0] == "multiprocessing":
+                yield self.violation(
+                    node, f"import from {node.module!r}: spawn processes "
+                          f"via repro.scale.WorldRunner")
+            elif isinstance(node, ast.Call):
+                resolved = ctx.resolve_call(node)
+                if resolved in _PROCESS_SPAWN_CALLS:
+                    yield self.violation(
+                        node, f"{resolved}() spawns worker processes "
+                              f"outside the sanctioned WorldRunner")
+
+
 ALL_RULES: tuple[Rule, ...] = (
     ModuleStateFactory(),
     WallClockAccess(),
     UnseededRandomness(),
     SetOrderIteration(),
     ObjectIdentityOrdering(),
+    UnsanctionedProcessFanout(),
 )
 
 RULES_BY_CODE: dict[str, Rule] = {r.code: r for r in ALL_RULES}

@@ -1,28 +1,48 @@
 """Wire-size estimation for simulated payloads.
 
 The simulation never serializes payloads for real — objects are passed by
-reference inside one Python process — but transfer *times* must reflect
+reference inside one Python process — and transfer *times* must reflect
 payload sizes.  :func:`estimate_size` walks common container shapes and
 numpy arrays to produce a stable, deterministic byte estimate.
+
+Shared sub-structures are costed **once per call**: a payload that
+references the same large dict or numpy array from two places is charged
+the full size at the first reference and a flat pointer cost after that
+(the wire format is assumed to deduplicate by reference, the way every
+sane serializer of scientific payloads does).  Before this memo existed a
+telemetry message embedding one 8 MB array twice was billed 16 MB on
+every publish — and the walk itself re-traversed the shared structure
+each time.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
 import numpy as np
 
 #: Fixed per-object overhead charged for framing/field tags.
 _OBJ_OVERHEAD = 8.0
 
+#: Cost of a repeated reference to an already-costed sub-structure.
+_REF_COST = 8.0
 
-def estimate_size(obj: Any, _depth: int = 0) -> float:
+#: Container types memoized by identity within one estimate_size call.
+#: Scalars and strings are deliberately *not* deduplicated: interning
+#: makes their identity an implementation detail, and each occurrence
+#: really is written out on the wire.
+_MEMOIZED_TYPES = (dict, list, tuple, set, frozenset, np.ndarray)
+
+
+def estimate_size(obj: Any, _depth: int = 0,
+                  _memo: Optional[dict] = None) -> float:
     """Estimate the serialized size of ``obj`` in bytes.
 
     Supports scalars, strings/bytes, numpy arrays, and (nested) mappings /
     sequences of those.  Unknown objects are charged a conservative flat
     cost plus the size of their ``__dict__`` when present; estimation never
-    raises.
+    raises.  Within a single call, containers and arrays already visited
+    (by identity) cost :data:`_REF_COST` instead of being re-charged.
     """
     if _depth > 16:
         return _OBJ_OVERHEAD
@@ -34,17 +54,30 @@ def estimate_size(obj: Any, _depth: int = 0) -> float:
         return float(len(obj.encode("utf-8", errors="replace"))) + 4.0
     if isinstance(obj, (bytes, bytearray, memoryview)):
         return float(len(obj)) + 4.0
+
+    memoized = isinstance(obj, _MEMOIZED_TYPES)
+    if memoized:
+        if _memo is None:
+            # The memo holds ids of objects kept alive by the structure
+            # being walked, so ids cannot be recycled mid-call.
+            _memo = {}
+        elif id(obj) in _memo:
+            return _REF_COST
+        _memo[id(obj)] = obj  # keep a reference: pin the id
+
     if isinstance(obj, np.ndarray):
         return float(obj.nbytes) + 64.0
     if isinstance(obj, np.generic):
         return float(obj.nbytes)
     if isinstance(obj, dict):
         return _OBJ_OVERHEAD + sum(
-            estimate_size(k, _depth + 1) + estimate_size(v, _depth + 1)
+            estimate_size(k, _depth + 1, _memo)
+            + estimate_size(v, _depth + 1, _memo)
             for k, v in obj.items())
     if isinstance(obj, (list, tuple, set, frozenset)):
-        return _OBJ_OVERHEAD + sum(estimate_size(x, _depth + 1) for x in obj)
+        return _OBJ_OVERHEAD + sum(
+            estimate_size(x, _depth + 1, _memo) for x in obj)
     inner = getattr(obj, "__dict__", None)
     if isinstance(inner, dict) and inner:
-        return _OBJ_OVERHEAD + estimate_size(inner, _depth + 1)
+        return _OBJ_OVERHEAD + estimate_size(inner, _depth + 1, _memo)
     return 64.0

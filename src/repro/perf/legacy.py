@@ -149,3 +149,57 @@ class LegacyGaussianProcess:
                     best_lml, best_kernel = lml, self.kernel
         self.kernel = best_kernel
         return self.fit(X, y)
+
+
+# -- frozen pre-optimization bus routing ---------------------------------------
+#
+# Snapshot of repro.comm.bus routing as it stood before the compiled
+# RouteIndex: a recursive backtracking topic matcher (exponential on
+# multi-'#' patterns) driven by a full linear scan over the binding list
+# on every publish.  The ``bus_routing_indexed`` perf workload measures
+# the optimized path against this, same process, same inputs.  Do not
+# "fix" it; its slowness is the point.
+
+
+def legacy_topic_matches(pattern: str, topic: str) -> bool:
+    """Pre-PR recursive backtracking matcher (verbatim snapshot)."""
+    pat = pattern.split(".")
+    top = topic.split(".")
+
+    def match(pi: int, ti: int) -> bool:
+        while pi < len(pat):
+            seg = pat[pi]
+            if seg == "#":
+                if pi == len(pat) - 1:
+                    return True
+                for skip in range(len(top) - ti + 1):
+                    if match(pi + 1, ti + skip):
+                        return True
+                return False
+            if ti >= len(top):
+                return False
+            if seg != "*" and seg != top[ti]:
+                return False
+            pi += 1
+            ti += 1
+        return ti == len(top)
+
+    return match(0, 0)
+
+
+def legacy_route_scan(bindings: "list[tuple[str, str]]",
+                      topic: str) -> "tuple[str, ...]":
+    """Pre-PR per-publish routing: linear scan, one match per pattern.
+
+    Returns the delivery set exactly as the old ``Broker.route`` built
+    it — deduplicated by queue, in first-binding order.
+    """
+    matched: list[str] = []
+    seen: set[str] = set()
+    for pattern, qname in bindings:
+        if qname in seen:
+            continue
+        if legacy_topic_matches(pattern, topic):
+            matched.append(qname)
+            seen.add(qname)
+    return tuple(matched)

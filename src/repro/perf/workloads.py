@@ -26,17 +26,22 @@ informational throughput workloads and the harness repeat count.
 
 from __future__ import annotations
 
+import os
 from typing import Callable
 
 import numpy as np
 
 from repro.comm import Message, MessageBus, Performative
+from repro.comm.bus import RouteIndex
 from repro.labsci.quantum_dots import QuantumDotLandscape, quantum_dot_space
 from repro.methods.gp import GaussianProcess
 from repro.methods.kernels import Matern52
 from repro.net.topology import Link, Site, Topology
 from repro.net.transport import Network
-from repro.perf.legacy import LegacyGaussianProcess, LegacyMatern52
+from repro.perf.legacy import (LegacyGaussianProcess, LegacyMatern52,
+                               legacy_route_scan)
+from repro.scale import WorldRunner, WorldSpec, combine_hashes, decision_hash
+from repro.scale.worlds import bo_world
 from repro.sim.kernel import Simulator
 
 Clock = Callable[[], float]
@@ -268,6 +273,147 @@ def bus_throughput(clock: Clock, *, quick: bool = False,
         "gates": {},
     }
 
+def _routing_tables(seed: int):
+    """Seeded binding table + topic stream shared by both routing arms.
+
+    Shaped like a busy federation broker: every site/instrument pair
+    publishes telemetry, and consumers subscribe with a realistic mix of
+    exact topics, ``*`` holes, and ``#`` tails.
+    """
+    rng = np.random.default_rng(seed)
+    sites = [f"site-{i}" for i in range(12)]
+    kinds = ["xrd", "microscope", "furnace", "flow", "spectrometer"]
+    streams = ["scan", "status", "calib", "alert"]
+
+    bindings: list[tuple[str, str]] = []
+    n_queues = 48
+    for q in range(n_queues):
+        qname = f"q-{q}"
+        for _ in range(int(rng.integers(8, 22))):
+            shape = rng.random()
+            site = sites[int(rng.integers(len(sites)))]
+            kind = kinds[int(rng.integers(len(kinds)))]
+            stream = streams[int(rng.integers(len(streams)))]
+            if shape < 0.35:
+                pattern = f"lab.{site}.{kind}.{stream}"
+            elif shape < 0.6:
+                pattern = f"lab.*.{kind}.{stream}"
+            elif shape < 0.8:
+                pattern = f"lab.{site}.#"
+            else:
+                pattern = f"lab.#.{stream}"
+            bindings.append((pattern, qname))
+
+    topics = []
+    for _ in range(1500):
+        site = sites[int(rng.integers(len(sites)))]
+        kind = kinds[int(rng.integers(len(kinds)))]
+        stream = streams[int(rng.integers(len(streams)))]
+        depth = rng.random()
+        if depth < 0.7:
+            topics.append(f"lab.{site}.{kind}.{stream}")
+        elif depth < 0.9:
+            topics.append(f"lab.{site}.{kind}.{stream}.chunk-3")
+        else:
+            topics.append(f"ops.{site}.{stream}")
+    return bindings, topics
+
+
+def bus_routing_indexed(clock: Clock, *, quick: bool = False,
+                        seed: int = 0) -> dict:
+    """Compiled trie routing vs the frozen per-publish linear scan.
+
+    Both arms compute the delivery set for the same seeded topic stream
+    over the same ~700-binding table: **legacy** re-scans every binding
+    with the recursive matcher on each publish
+    (:func:`~repro.perf.legacy.legacy_route_scan`); **fast** compiles the
+    table into a :class:`~repro.comm.bus.RouteIndex` once (build time is
+    charged to the fast arm) and walks the trie per topic.  The two
+    delivery sequences are hash-compared — a speedup that changed who
+    receives what would be a bug, not a win.
+    """
+    del quick  # canonical size always: gates must match the baseline's
+    bindings, topics = _routing_tables(seed)
+
+    t0 = clock()
+    legacy_sets = [legacy_route_scan(bindings, topic) for topic in topics]
+    legacy_s = clock() - t0
+
+    t0 = clock()
+    index = RouteIndex(bindings)
+    fast_sets = [index.match(topic) for topic in topics]
+    fast_s = clock() - t0
+
+    legacy_digest = decision_hash([list(s) for s in legacy_sets])
+    fast_digest = decision_hash([list(s) for s in fast_sets])
+    if legacy_digest != fast_digest:  # pragma: no cover - correctness gate
+        raise RuntimeError(
+            "RouteIndex delivery sets diverged from the legacy scan "
+            f"({fast_digest[:12]} != {legacy_digest[:12]})")
+
+    return {
+        "metrics": {
+            "bindings": len(bindings),
+            "publishes": len(topics),
+            "deliveries": float(sum(len(s) for s in fast_sets)),
+            "legacy_seconds": legacy_s,
+            "indexed_seconds": fast_s,
+            "legacy_routes_per_second": len(topics) / legacy_s,
+            "indexed_routes_per_second": len(topics) / fast_s,
+        },
+        "gates": {"speedup": legacy_s / fast_s},
+    }
+
+
+def parallel_worlds(clock: Clock, *, quick: bool = False,
+                    seed: int = 0) -> dict:
+    """Multi-seed world sweep: serial loop vs the process-pool runner.
+
+    Runs the same six seeded BO worlds twice — serially in-process, then
+    through :class:`~repro.scale.WorldRunner` at ``min(4, cpu_count)``
+    workers — and demands byte-identical per-world decision hashes.  The
+    speedup gate is the one machine-*dependent* gate in this suite: it
+    tracks core count by design (on a single-core box the runner falls
+    back to the serial path and the ratio pins near 1.0, which is also
+    the documented "when parallel is not faster" regime).
+    """
+    del quick  # canonical size always: gates must match the baseline's
+    seeds = [seed + i for i in range(6)]
+    config = {"budget": 25, "n_candidates": 96, "n_init": 6}
+    specs = [WorldSpec(seed=s, entrypoint=bo_world, config=config)
+             for s in seeds]
+    cpus = os.cpu_count() or 1
+    workers = min(4, cpus)
+
+    serial_runner = WorldRunner(1)
+    t0 = clock()
+    serial = serial_runner.run(specs)
+    serial_s = clock() - t0
+
+    parallel_runner = WorldRunner(workers)
+    t0 = clock()
+    parallel = parallel_runner.run(specs)
+    parallel_s = clock() - t0
+
+    if serial.hashes != parallel.hashes:  # pragma: no cover - det. gate
+        raise RuntimeError(
+            "parallel worlds diverged from serial replay: "
+            f"{combine_hashes(parallel.hashes)[:12]} != "
+            f"{combine_hashes(serial.hashes)[:12]}")
+
+    return {
+        "metrics": {
+            "worlds": len(seeds),
+            "workers": workers,
+            "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "hash_equal": 1.0,
+            "worlds_per_second": len(seeds) / parallel_s,
+        },
+        "gates": {"parallel_speedup": serial_s / parallel_s},
+    }
+
+
 #: name -> workload, in report order.  Built once at import; never
 #: mutated at runtime (detlint D001 contract).
 WORKLOADS: dict[str, Callable[..., dict]] = {
@@ -275,4 +421,6 @@ WORKLOADS: dict[str, Callable[..., dict]] = {
     "gp_scaling": gp_scaling,
     "sim_events": sim_events,
     "bus_throughput": bus_throughput,
+    "bus_routing_indexed": bus_routing_indexed,
+    "parallel_worlds": parallel_worlds,
 }

@@ -1,0 +1,80 @@
+"""CLI for the scale-out runner: ``python -m repro.scale``.
+
+Runs a canonical multi-seed world sweep and prints (optionally writes)
+the per-seed decision hashes.  The JSON manifest deliberately contains
+*only* determinism-relevant fields — world kind, config, seeds, hashes —
+so two manifests produced at different worker counts diff clean iff the
+runs were equivalent.  That is exactly what the CI
+``parallel-equivalence`` job does::
+
+    REPRO_WORKERS=1 python -m repro.scale --seeds 0,1,2,3 --json h1.json
+    REPRO_WORKERS=4 python -m repro.scale --seeds 0,1,2,3 --json h4.json
+    diff h1.json h4.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.scale.runner import WorldRunner, WorldSpec
+from repro.scale.worlds import WORLD_KINDS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scale",
+        description="Run a multi-seed world sweep and emit decision hashes.")
+    parser.add_argument("--world", default="bo", choices=sorted(WORLD_KINDS),
+                        help="canonical world entrypoint (default: bo)")
+    parser.add_argument("--seeds", default="0,1,2,3",
+                        help="comma-separated seeds (default: 0,1,2,3)")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="per-world experiment budget override")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: REPRO_WORKERS or 1; "
+                             "0 = one per CPU)")
+    parser.add_argument("--verify", action="store_true",
+                        help="replay serially and assert hash equality")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the hash manifest here")
+    args = parser.parse_args(argv)
+
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    except ValueError:
+        parser.error(f"--seeds must be comma-separated ints, "
+                     f"got {args.seeds!r}")
+    if not seeds:
+        parser.error("need at least one seed")
+    config = {} if args.budget is None else {"budget": args.budget}
+
+    runner = WorldRunner(args.workers, verify=args.verify)
+    specs = [WorldSpec(seed=s, entrypoint=WORLD_KINDS[args.world],
+                       config=config) for s in seeds]
+    batch = runner.run(specs)
+
+    print(f"world={args.world} workers={batch.workers} "
+          f"verify={args.verify}")
+    for result in batch:
+        print(f"  seed {result.seed:>4}  {result.decision_hash}")
+    print(f"combined: {batch.combined_hash}")
+
+    if args.json:
+        manifest = {
+            "world": args.world,
+            "config": config,
+            "seeds": seeds,
+            "hashes": {str(r.seed): r.decision_hash for r in batch},
+            "combined": batch.combined_hash,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Canonical decision hashing for cross-process equivalence checks.
+
+A world's *decision sequence* — everything its entrypoint returns — is
+reduced to one hex digest so that a serial run and a parallel run (or two
+runs on different machines) can be compared without shipping the full
+results around.  The encoding is canonical by construction:
+
+- dict entries are sorted by their encoded keys, sets by their encoded
+  elements, so container iteration order never leaks into the digest;
+- floats are encoded via ``repr`` (shortest round-trip form), which is
+  bit-faithful — two values hash equal iff they are the same double;
+- numpy arrays contribute dtype, shape, and raw C-order bytes;
+- every element is length-framed, so concatenations cannot collide
+  (``["ab"]`` vs ``["a", "b"]`` encode differently).
+
+Unsupported types raise :class:`TypeError` instead of falling back to
+``repr`` — a ``repr`` with an embedded ``0x7f...`` address would make the
+hash a function of the allocator, which is exactly what this module
+exists to rule out.  Worlds should return plain data (numbers, strings,
+containers, arrays, dataclasses of those).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+import numpy as np
+
+__all__ = ["canonical_bytes", "decision_hash", "combine_hashes"]
+
+_MAX_DEPTH = 64
+
+
+def _frame(payload: bytes) -> bytes:
+    """Length-prefix one encoded element (unambiguous concatenation)."""
+    return b"%d:%s" % (len(payload), payload)
+
+
+def _encode(obj: Any, depth: int) -> bytes:
+    if depth > _MAX_DEPTH:
+        raise ValueError("decision structure nested deeper than "
+                         f"{_MAX_DEPTH} levels (cycle?)")
+    if obj is None:
+        return b"N"
+    if isinstance(obj, bool):
+        return b"T" if obj else b"F"
+    if isinstance(obj, int):
+        return b"i" + str(int(obj)).encode("ascii")
+    if isinstance(obj, float):
+        # float() first: numpy's float64 subclasses float but (since
+        # numpy 2) reprs as 'np.float64(x)', which must hash like x.
+        return b"f" + repr(float(obj)).encode("ascii")
+    if isinstance(obj, str):
+        return b"s" + obj.encode("utf-8")
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return b"b" + bytes(obj)
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        head = f"a{arr.dtype.str}{arr.shape}".encode("ascii")
+        return head + arr.tobytes()
+    if isinstance(obj, np.generic):
+        return _encode(obj.item(), depth)
+    if isinstance(obj, (list, tuple)):
+        tag = b"l" if isinstance(obj, list) else b"t"
+        return tag + b"".join(_frame(_encode(x, depth + 1)) for x in obj)
+    if isinstance(obj, dict):
+        items = [(_encode(k, depth + 1), _encode(v, depth + 1))
+                 for k, v in obj.items()]
+        items.sort(key=lambda kv: kv[0])
+        return b"d" + b"".join(_frame(k) + _frame(v) for k, v in items)
+    if isinstance(obj, (set, frozenset)):
+        elems = sorted(_encode(x, depth + 1) for x in obj)
+        return b"S" + b"".join(_frame(e) for e in elems)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: getattr(obj, f.name)
+                  for f in dataclasses.fields(obj)}
+        return (b"D" + _frame(type(obj).__name__.encode("utf-8"))
+                + _frame(_encode(fields, depth + 1)))
+    raise TypeError(
+        f"decision_hash cannot canonically encode {type(obj).__name__!r}; "
+        f"return plain data (numbers, strings, containers, numpy arrays, "
+        f"dataclasses of those) from world entrypoints")
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """Deterministic byte encoding of a plain-data structure."""
+    return _encode(obj, 0)
+
+
+def decision_hash(obj: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_bytes`\\ (``obj``)."""
+    return hashlib.sha256(canonical_bytes(obj)).hexdigest()
+
+
+def combine_hashes(hashes: "list[str] | tuple[str, ...]") -> str:
+    """Order-sensitive digest over a sequence of per-world digests."""
+    h = hashlib.sha256()
+    for piece in hashes:
+        h.update(_frame(piece.encode("ascii")))
+    return h.hexdigest()

@@ -1,0 +1,76 @@
+"""Canonical, picklable world entrypoints for the scale-out runner.
+
+A world entrypoint is a module-level callable ``fn(seed, config) ->
+plain data`` — importable by reference in a worker process, returning
+only data :func:`~repro.scale.hashing.decision_hash` can canonically
+encode.  These two cover the repo's staple multi-seed shapes:
+
+- :func:`bo_world` — the E12-shaped flat-BO campaign on the quantum-dot
+  landscape (optimizer decisions only, no federation);
+- :func:`testbed_world` — a full :class:`~repro.testbed.Testbed`
+  federation running one campaign, summarized picklably.
+
+Both are used by the ``parallel_worlds`` perf workload, the
+``python -m repro.scale`` CLI, and the CI ``parallel-equivalence`` job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.campaign import CampaignSpec
+from repro.labsci.quantum_dots import QuantumDotLandscape
+from repro.methods.bayesopt import BayesianOptimizer
+from repro.testbed import Testbed
+
+__all__ = ["bo_world", "testbed_world", "WORLD_KINDS"]
+
+
+def bo_world(seed: int, config: dict) -> dict:
+    """Flat-BO campaign over the quantum-dot landscape (E12-shaped).
+
+    The decision sequence is the full encoded (params, value) trajectory,
+    so the hash is sensitive to *every* ask/tell — not just the winner.
+    """
+    budget = int(config.get("budget", 40))
+    n_init = int(config.get("n_init", 8))
+    n_candidates = int(config.get("n_candidates", 128))
+    landscape = QuantumDotLandscape(seed=int(config.get("landscape_seed", 2)))
+    space = landscape.space
+    opt = BayesianOptimizer(space, np.random.default_rng(seed),
+                            n_init=n_init, n_candidates=n_candidates)
+    decisions = np.empty((budget, space.encoded_size + 1))
+    for i in range(budget):
+        params = opt.ask()
+        value = landscape.objective_value(params)
+        opt.tell(params, value)
+        decisions[i, :-1] = space.encode(params)
+        decisions[i, -1] = value
+    best_value, _ = opt.best
+    return {"seed": int(seed), "budget": budget,
+            "best": float(best_value), "decisions": decisions}
+
+
+def testbed_world(seed: int, config: dict) -> dict:
+    """One-site :class:`Testbed` federation running a full campaign.
+
+    Exercises the whole stack — kernel, bus, agents, orchestrator — so
+    its decision hash is the strongest per-world determinism witness the
+    repo has short of a full trace diff.
+    """
+    budget = int(config.get("budget", 15))
+    n_sites = int(config.get("n_sites", 2))
+    objective_key = str(config.get("objective_key", "plqy"))
+    verified = bool(config.get("verified", True))
+    site = (Testbed(seed=int(seed), n_sites=n_sites,
+                    objective_key=objective_key)
+            .site("site-0")
+            .with_verification(verified))
+    built = site.build()
+    spec = CampaignSpec(name=f"world-{seed}", objective_key=objective_key,
+                        max_experiments=budget)
+    return built.run_summary(spec)
+
+
+#: name -> entrypoint, for the CLI and config-driven sweeps.
+WORLD_KINDS = {"bo": bo_world, "testbed": testbed_world}

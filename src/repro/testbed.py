@@ -356,3 +356,33 @@ class BuiltTestbed:
         orch = self.orchestrator(site)
         proc = self.sim.process(orch.run_campaign(spec))
         return self.sim.run(until=proc)
+
+    def run_summary(self, spec: CampaignSpec,
+                    site: Optional[str] = None) -> dict:
+        """Run a campaign and return a picklable plain-data summary.
+
+        This is the shape the scale-out layer (:mod:`repro.scale`) ships
+        across process boundaries: a :class:`CampaignResult` drags the
+        whole live world behind it (simulator, agents, generators), while
+        this dict is pure data — safe to pickle and canonical enough for
+        :func:`repro.scale.hashing.decision_hash` to digest.  The
+        ``decisions`` rows (index, objective, timing, validity) pin the
+        full per-experiment decision sequence, not just the winner.
+        """
+        result = self.run(spec, site)
+        decisions = [
+            [float(r.index),
+             float(r.objective) if r.objective is not None else float("nan"),
+             float(r.started), float(r.finished), 1.0 if r.valid else 0.0]
+            for r in result.records]
+        return {
+            "campaign": spec.name,
+            "objective_key": spec.objective_key,
+            "n_experiments": result.n_experiments,
+            "n_valid": result.n_valid,
+            "best_value": (float(result.best_value)
+                           if result.best_value is not None else None),
+            "stop_reason": result.stop_reason,
+            "sim_seconds": float(self.sim.now),
+            "decisions": decisions,
+        }

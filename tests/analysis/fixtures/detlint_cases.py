@@ -1,4 +1,4 @@
-"""Seeded detlint fixture: every rule D001–D005 fires in this file.
+"""Seeded detlint fixture: every rule D001–D006 fires in this file.
 
 This module is *intentionally dirty*.  It is excluded from the repo
 sweep via ``[tool.detlint] exclude`` in pyproject.toml and exists so the
@@ -8,11 +8,16 @@ It is never imported by product code.
 """
 
 import itertools
+# D006 shape 1: importing multiprocessing at all is a finding.
+import multiprocessing
 import random
 import time
+from concurrent.futures import ProcessPoolExecutor
 from datetime import datetime
 
 import numpy as np
+
+from repro.scale import WorldRunner
 
 # D001 shape 1: module-level itertools.count id factory.
 _widget_ids = itertools.count(1)
@@ -58,10 +63,20 @@ def tie_break(events):
     return sorted(events, key=lambda e: (0.0, id(e)))
 
 
+def fan_out(seeds):
+    # D006 shape 2: raw process pools bypass the hash-verified runner —
+    # results arrive in completion order and no decision hash is kept.
+    ctx = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(max_workers=4, mp_context=ctx) as pool:
+        return list(pool.map(str, seeds))
+
+
 def sanctioned_patterns(sim, rngs):
     """The clean counterparts: none of these may fire."""
     rng = rngs.stream("demo")                  # named deterministic stream
     seeded = np.random.default_rng(42)         # explicitly seeded
     label = sim.ids.label("widget")            # world-scoped id
     ordered = sorted({"b", "a"})               # sorted() normalizes sets
-    return rng.random(), seeded.random(), label, ordered, sim.now
+    worlds = WorldRunner(2).map(               # the sanctioned fan-out
+        "repro.scale.worlds:bo_world", [0, 1], {"budget": 2})
+    return rng.random(), seeded.random(), label, ordered, worlds, sim.now

@@ -222,6 +222,59 @@ def test_d005_plain_sort_is_clean():
     assert codes("def f(xs):\n    return sorted(xs)\n") == []
 
 
+# -- D006: process fan-out outside the runner ---------------------------------
+
+def test_d006_process_pool_executor_call():
+    src = ("from concurrent.futures import ProcessPoolExecutor\n"
+           "def f(xs):\n"
+           "    with ProcessPoolExecutor() as pool:\n"
+           "        return list(pool.map(str, xs))\n")
+    assert codes(src) == ["D006"]
+
+
+def test_d006_futures_module_form():
+    src = ("from concurrent import futures\n"
+           "def f(xs):\n"
+           "    pool = futures.ProcessPoolExecutor(max_workers=2)\n"
+           "    return pool\n")
+    assert codes(src) == ["D006"]
+
+
+def test_d006_multiprocessing_import_and_calls():
+    src = ("import multiprocessing\n"
+           "def f(xs):\n"
+           "    ctx = multiprocessing.get_context('spawn')\n"
+           "    return multiprocessing.Pool(2)\n")
+    # The import fires once, each spawn primitive call fires once.
+    assert codes(src) == ["D006", "D006", "D006"]
+
+
+def test_d006_from_multiprocessing_import():
+    src = "from multiprocessing import Pool\n"
+    assert codes(src) == ["D006"]
+
+
+def test_d006_os_fork():
+    src = "import os\ndef f():\n    return os.fork()\n"
+    assert codes(src) == ["D006"]
+
+
+def test_d006_world_runner_is_clean():
+    src = ("from repro.scale import WorldRunner\n"
+           "def f(seeds):\n"
+           "    return WorldRunner(4).map('pkg.mod:world', seeds)\n")
+    assert codes(src) == []
+
+
+def test_d006_thread_pool_is_clean():
+    # Threads share the process; the rule targets process fan-out only.
+    src = ("from concurrent.futures import ThreadPoolExecutor\n"
+           "def f(xs):\n"
+           "    with ThreadPoolExecutor() as pool:\n"
+           "        return list(pool.map(str, xs))\n")
+    assert codes(src) == []
+
+
 # -- ordering / multiple rules ------------------------------------------------
 
 def test_findings_sorted_by_position():

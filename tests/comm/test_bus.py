@@ -45,6 +45,33 @@ def test_topic_matches(pattern, topic, expected):
     assert topic_matches(pattern, topic) is expected
 
 
+def test_topic_matches_adversarial_many_hashes():
+    # Regression: the recursive matcher backtracked over every way to
+    # split the topic across the '#'s — combinatorial in the number of
+    # '#' segments.  Fifteen of them against a 60-segment non-matching
+    # topic effectively hung; the NFA walk is linear and returns at once.
+    pattern = ".".join(["#"] * 15 + ["zzz"])
+    topic = ".".join(["seg"] * 60)
+    assert topic_matches(pattern, topic) is False
+    assert topic_matches(pattern, topic + ".zzz") is True
+
+
+def test_topic_matches_adversarial_hash_star_alternation():
+    # '#.*' repeated: each '*' needs exactly one segment, each '#' zero
+    # or more, so ten pairs need >= 10 segments — another worst case for
+    # the old backtracker.
+    pattern = ".".join(["#", "*"] * 10)
+    assert topic_matches(pattern, ".".join(["x"] * 9)) is False
+    assert topic_matches(pattern, ".".join(["x"] * 10)) is True
+    assert topic_matches(pattern, ".".join(["x"] * 50)) is True
+
+
+def test_topic_matches_adversarial_hash_sandwich():
+    pattern = "a.#.b.#.b.#.b.#.c"
+    assert topic_matches(pattern, "a." + "b." * 40 + "c") is True
+    assert topic_matches(pattern, "a." + "b." * 40 + "d") is False
+
+
 # -- pub/sub flow ------------------------------------------------------------------
 
 def make_bus(sim, network):

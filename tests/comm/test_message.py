@@ -75,6 +75,40 @@ def test_estimate_size_unknown_object():
     assert estimate_size(WithDict()) > 100.0
 
 
+def test_estimate_size_shared_array_counted_once():
+    # Regression: the same 8 KB array referenced twice used to be billed
+    # twice; the memo charges the second reference a flat pointer cost.
+    arr = np.zeros(1000, dtype=np.float64)
+    once = estimate_size({"a": arr})
+    twice = estimate_size({"a": arr, "b": arr})
+    assert twice < once + 100.0
+    assert twice > once  # the extra key + reference still cost something
+    # Two *distinct* equal arrays are genuinely written twice.
+    distinct = estimate_size({"a": arr, "b": arr.copy()})
+    assert distinct > 2 * arr.nbytes
+
+
+def test_estimate_size_shared_dict_counted_once():
+    shared = {"w": list(range(200))}
+    single = estimate_size([shared])
+    double = estimate_size([shared, shared])
+    assert double < single + 100.0
+
+
+def test_estimate_size_memo_is_per_call():
+    # Identity memoization must not leak across calls: the same object
+    # costs the same in two separate calls.
+    payload = {"x": np.ones(64)}
+    assert estimate_size(payload) == estimate_size(payload)
+
+
+def test_estimate_size_equal_strings_not_deduplicated():
+    # Strings are written per occurrence; interning must not shrink them.
+    s = "spectrum-channel"
+    assert estimate_size([s, s]) == pytest.approx(
+        8.0 + 2 * (len(s) + 4.0))
+
+
 def test_estimate_size_recursion_bounded():
     lst: list = []
     lst.append(lst)  # self-referential

@@ -1,0 +1,97 @@
+"""Tests for canonical decision hashing."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.scale import canonical_bytes, combine_hashes, decision_hash
+
+
+def test_hash_is_deterministic():
+    value = {"seed": 3, "best": 0.71, "decisions": [1, 2, 3]}
+    assert decision_hash(value) == decision_hash(value)
+    assert decision_hash(dict(value)) == decision_hash(value)
+
+
+def test_dict_insertion_order_does_not_leak():
+    a = {"x": 1, "y": 2, "z": 3}
+    b = {"z": 3, "y": 2, "x": 1}
+    assert decision_hash(a) == decision_hash(b)
+
+
+def test_set_iteration_order_does_not_leak():
+    assert decision_hash({"a", "b", "c"}) == decision_hash({"c", "b", "a"})
+
+
+def test_type_tags_distinguish_lookalikes():
+    # Same surface repr, different type/structure: all distinct digests.
+    values = [1, 1.0, "1", True, [1], (1,), {1}, {"1": None}, b"1"]
+    digests = {decision_hash(v) for v in values}
+    assert len(digests) == len(values)
+
+
+def test_length_framing_prevents_concat_collisions():
+    assert decision_hash(["ab"]) != decision_hash(["a", "b"])
+    assert decision_hash([["a"], "b"]) != decision_hash([["a", "b"]])
+
+
+def test_ndarray_content_dtype_and_shape_all_matter():
+    base = np.arange(6, dtype=np.float64)
+    assert decision_hash(base) == decision_hash(base.copy())
+    assert decision_hash(base) != decision_hash(base.astype(np.float32))
+    assert decision_hash(base) != decision_hash(base.reshape(2, 3))
+    bumped = base.copy()
+    bumped[3] += 1e-12
+    assert decision_hash(base) != decision_hash(bumped)
+
+
+def test_non_contiguous_array_equals_contiguous_copy():
+    arr = np.arange(20, dtype=np.float64)[::2]
+    assert decision_hash(arr) == decision_hash(np.ascontiguousarray(arr))
+
+
+def test_numpy_scalars_hash_like_python_scalars():
+    assert decision_hash(np.float64(0.5)) == decision_hash(0.5)
+    assert decision_hash(np.int64(7)) == decision_hash(7)
+
+
+def test_dataclasses_encode_by_name_and_fields():
+    @dataclasses.dataclass
+    class Point:
+        x: float
+        y: float
+
+    assert decision_hash(Point(1.0, 2.0)) == decision_hash(Point(1.0, 2.0))
+    assert decision_hash(Point(1.0, 2.0)) != decision_hash(Point(2.0, 1.0))
+    assert decision_hash(Point(1.0, 2.0)) != decision_hash(
+        {"x": 1.0, "y": 2.0})
+
+
+def test_unsupported_types_raise_not_fallback_to_repr():
+    # repr() of these embeds a memory address; falling back would make
+    # the digest a function of the allocator.
+    class Opaque:
+        pass
+
+    with pytest.raises(TypeError, match="plain data"):
+        decision_hash(Opaque())
+    with pytest.raises(TypeError):
+        decision_hash({"fn": print})
+
+
+def test_deep_nesting_raises_instead_of_recursing_forever():
+    deep: list = []
+    node = deep
+    for _ in range(100):
+        inner: list = []
+        node.append(inner)
+        node = inner
+    with pytest.raises(ValueError, match="nested deeper"):
+        canonical_bytes(deep)
+
+
+def test_combine_hashes_is_order_sensitive():
+    h1, h2 = decision_hash(1), decision_hash(2)
+    assert combine_hashes([h1, h2]) != combine_hashes([h2, h1])
+    assert combine_hashes([h1]) != combine_hashes([h1, h1])
