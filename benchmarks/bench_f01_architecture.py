@@ -54,13 +54,23 @@ def _scenario():
             fed.sim, lab.planner, lab.executor, lab.evaluator,
             verification=stack, knowledge=kb, mesh_node=lab.mesh_node))
 
-    results = []
-    for orch, lab in zip(orchestrators, labs):
+    # Both campaigns go through the multi-tenant service front door: one
+    # facility slot per site, one tenant per site, admission + fair-share
+    # + canonical CampaignReport results (and the sites genuinely run
+    # concurrently, sharing knowledge mid-campaign).
+    from repro.service import CampaignService, FacilitySlot
+    service = CampaignService(
+        fed.sim, [FacilitySlot(lab.name, orch.run_campaign)
+                  for orch, lab in zip(orchestrators, labs)])
+    handles = []
+    for lab in labs:
+        service.register_tenant(lab.name)
         spec = CampaignSpec(name=f"f1-{lab.name}", objective_key="plqy",
                             max_experiments=25)
-        proc = fed.sim.process(orch.run_campaign(spec))
-        results.append(fed.sim.run(until=proc))
+        handles.append(service.submit(lab.name, spec))
+    fed.sim.run()
     fed.sim.run(until=fed.sim.now + 30.0)  # index replication drain
+    results = [h.result() for h in handles]
     return fed, labs, kb, operator, results
 
 

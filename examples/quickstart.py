@@ -31,7 +31,7 @@ def main() -> None:
     result = built.run(spec, site="site-0")
 
     print("=== campaign summary ===")
-    for key, value in result.summary().items():
+    for key, value in result.report().summary().items():
         print(f"  {key:>16}: {value}")
     print(f"\nbest recipe found (PLQY={result.best_value:.3f}):")
     for name, value in sorted(result.best_params.items()):

@@ -43,7 +43,7 @@ def main() -> None:
     result = fed.sim.run(until=proc)
 
     print("\n=== campaign under fire ===")
-    for key, value in result.summary().items():
+    for key, value in result.report().summary().items():
         print(f"  {key:>16}: {value}")
     print("\nchaos injections:")
     for t, kind, detail in fed.chaos.log:

@@ -12,6 +12,8 @@
   logistics.
 - :mod:`repro.core.workflow` — dependency-DAG execution of multi-step
   experimental workflows.
+- :mod:`repro.core.report` — the canonical :class:`CampaignReport`
+  result type (every entry point's plain-data return shape).
 - :mod:`repro.core.metrics` — speedup / time-to-target accounting.
 """
 
@@ -23,6 +25,7 @@ from repro.core.manual import ManualOrchestrator
 from repro.core.metrics import (CampaignMetrics, experiments_to_target,
                                 speedup, time_to_target)
 from repro.core.orchestrator import HierarchicalOrchestrator
+from repro.core.report import CampaignReport
 from repro.core.verification import (PhysicsConstraintVerifier,
                                      SurrogateConsistencyVerifier,
                                      TwinVerifier, VerificationStack)
@@ -30,6 +33,7 @@ from repro.core.workflow import WorkflowDAG, WorkflowStep
 
 __all__ = [
     "CampaignMetrics",
+    "CampaignReport",
     "CampaignResult",
     "CampaignSpec",
     "ExperimentRecord",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -103,15 +104,24 @@ class CampaignResult:
             out.append(cur)
         return out
 
+    def report(self, *, tenant: str = "",
+               sim_seconds: Optional[float] = None,
+               target: Optional[float] = None):
+        """This result as a :class:`~repro.core.report.CampaignReport` —
+        the canonical plain-data form every entry point now returns."""
+        from repro.core.report import CampaignReport
+        return CampaignReport.from_result(self, tenant=tenant,
+                                          sim_seconds=sim_seconds,
+                                          target=target)
+
     def summary(self) -> dict[str, Any]:
-        return {
-            "campaign": self.spec.name,
-            "experiments": self.n_experiments,
-            "valid": self.n_valid,
-            "correctness": round(self.correctness, 4),
-            "best": (round(self.best_value, 4)
-                     if self.best_value is not None else None),
-            "duration_s": round(self.duration, 1),
-            "stop_reason": self.stop_reason,
-            **self.counters,
-        }
+        """Deprecated: use ``result.report().summary()``.
+
+        Thin wrapper kept for old call sites; the canonical summary
+        assembly lives in :class:`~repro.core.report.CampaignReport`.
+        """
+        warnings.warn(
+            "CampaignResult.summary() is deprecated; build a "
+            "CampaignReport (result.report().summary()) instead",
+            DeprecationWarning, stacklevel=2)
+        return self.report().summary()

@@ -1,10 +1,13 @@
 """Campaign comparison metrics used throughout the benchmarks.
 
 The primary API is :class:`CampaignMetrics` — derive one per campaign
-with :meth:`CampaignMetrics.from_result` and compare arms with
+from a :class:`~repro.core.report.CampaignReport` via
+:meth:`~repro.core.report.CampaignReport.metrics` and compare arms with
 :meth:`~CampaignMetrics.speedup_vs` / :meth:`~CampaignMetrics.reduction_vs`.
 The original module-level functions remain as thin delegating wrappers,
-so existing call sites keep working unchanged.
+so existing call sites keep working unchanged, and
+:meth:`CampaignMetrics.from_result` survives as a deprecated wrapper
+over the report path.
 
 All comparisons are ``None``-propagating: a campaign that never reached
 its target yields ``None`` (reported as "DNF") rather than a fabricated
@@ -13,6 +16,7 @@ ratio.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -51,26 +55,17 @@ class CampaignMetrics:
     @classmethod
     def from_result(cls, result: CampaignResult,
                     target: Optional[float] = None) -> "CampaignMetrics":
-        """Compute every derived metric from one campaign result.
+        """Deprecated: use ``result.report(target=...).metrics()``.
 
-        ``target`` defaults to the campaign spec's own target; pass one
-        explicitly to evaluate against a different threshold.
+        The derived-metric computation now lives in
+        :meth:`repro.core.report.CampaignReport.from_result`; this
+        wrapper delegates there and keeps old call sites working.
         """
-        if target is None:
-            target = result.spec.target
-        ttt: Optional[float] = None
-        ett: Optional[int] = None
-        if target is not None:
-            for i, record in enumerate(result.records, start=1):
-                if (record.valid and record.objective is not None
-                        and record.objective >= target):
-                    ttt = record.finished - result.started
-                    ett = i
-                    break
-        return cls(time_to_target=ttt, experiments_to_target=ett,
-                   duration=result.duration,
-                   n_experiments=result.n_experiments,
-                   best_value=result.best_value, target=target)
+        warnings.warn(
+            "CampaignMetrics.from_result() is deprecated; build a "
+            "CampaignReport (result.report(target=...).metrics()) instead",
+            DeprecationWarning, stacklevel=2)
+        return _metrics_for(result, target)
 
     # -- arm-vs-arm comparisons -------------------------------------------
 
@@ -89,7 +84,14 @@ class CampaignMetrics:
         return reduction_fraction(base, self.experiments_to_target)
 
 
-# -- module-level wrappers (legacy surface, delegate to CampaignMetrics) ----
+def _metrics_for(result: CampaignResult,
+                 target: Optional[float]) -> "CampaignMetrics":
+    """Shared (non-warning) report-path computation for the wrappers."""
+    from repro.core.report import CampaignReport
+    return CampaignReport.from_result(result, target=target).metrics()
+
+
+# -- module-level wrappers (legacy surface, delegate to the report path) ----
 
 def time_to_target(result: CampaignResult,
                    target: float) -> Optional[float]:
@@ -97,13 +99,13 @@ def time_to_target(result: CampaignResult,
 
     ``None`` when the campaign never reached it.
     """
-    return CampaignMetrics.from_result(result, target).time_to_target
+    return _metrics_for(result, target).time_to_target
 
 
 def experiments_to_target(result: CampaignResult,
                           target: float) -> Optional[int]:
     """Number of executed experiments until the target was first met."""
-    return CampaignMetrics.from_result(result, target).experiments_to_target
+    return _metrics_for(result, target).experiments_to_target
 
 
 def speedup(baseline_time: Optional[float],

@@ -45,6 +45,42 @@ class SchedulingState:
         return SchedulingState(q, b, c)
 
 
+@dataclass(frozen=True)
+class MultiTenantSchedulingState:
+    """Discretized facility state for multi-tenant slot routing.
+
+    The service-level analogue of :class:`SchedulingState`: instead of
+    one campaign's queue/budget/confidence, it captures the whole
+    facility's backlog, how uneven the fair-share virtual times have
+    become, and how close the nearest deadline is.  Kept deliberately
+    tiny (3 x 3 x 3 states) so the tabular agent converges within a
+    single busy service run.
+
+    Attributes
+    ----------
+    backlog:
+        0 (drained) / 1 (busy) / 2 (saturated) total queued campaigns.
+    imbalance:
+        0 (fair) / 1 (drifting) / 2 (skewed) virtual-time spread.
+    urgency:
+        0 (no deadline near) / 1 (deadline approaching) / 2 (imminent).
+    """
+
+    backlog: int
+    imbalance: int
+    urgency: int
+
+    @staticmethod
+    def discretize(total_backlog: int, fairness_debt: float,
+                   min_deadline_slack_s: float,
+                   ) -> "MultiTenantSchedulingState":
+        b = 0 if total_backlog == 0 else (1 if total_backlog <= 16 else 2)
+        i = 0 if fairness_debt < 1.0 else (1 if fairness_debt < 8.0 else 2)
+        u = 2 if min_deadline_slack_s < 600.0 else (
+            1 if min_deadline_slack_s < 3600.0 else 0)
+        return MultiTenantSchedulingState(b, i, u)
+
+
 class QLearningScheduler:
     """Epsilon-greedy tabular Q-learning over (state, action).
 

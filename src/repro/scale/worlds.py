@@ -8,9 +8,12 @@ encode.  These two cover the repo's staple multi-seed shapes:
 - :func:`bo_world` — the E12-shaped flat-BO campaign on the quantum-dot
   landscape (optimizer decisions only, no federation);
 - :func:`testbed_world` — a full :class:`~repro.testbed.Testbed`
-  federation running one campaign, summarized picklably.
+  federation running one campaign, reported picklably;
+- :func:`service_world` — a multi-tenant
+  :class:`~repro.service.CampaignService` under mixed load, whose
+  decision log pins every admission/dispatch/terminal transition.
 
-Both are used by the ``parallel_worlds`` perf workload, the
+All are used by the ``parallel_worlds`` perf workload, the
 ``python -m repro.scale`` CLI, and the CI ``parallel-equivalence`` job.
 """
 
@@ -23,7 +26,7 @@ from repro.labsci.quantum_dots import QuantumDotLandscape
 from repro.methods.bayesopt import BayesianOptimizer
 from repro.testbed import Testbed
 
-__all__ = ["bo_world", "testbed_world", "WORLD_KINDS"]
+__all__ = ["bo_world", "testbed_world", "service_world", "WORLD_KINDS"]
 
 
 def bo_world(seed: int, config: dict) -> dict:
@@ -69,8 +72,51 @@ def testbed_world(seed: int, config: dict) -> dict:
     built = site.build()
     spec = CampaignSpec(name=f"world-{seed}", objective_key=objective_key,
                         max_experiments=budget)
-    return built.run_summary(spec)
+    return built.run_report(spec).to_dict()
+
+
+def service_world(seed: int, config: dict) -> dict:
+    """Multi-tenant campaign service under a mixed open/closed load.
+
+    The returned ``decisions`` rows are the service's terminal-transition
+    log — campaign id, tenant, status, submit/start/finish times — so the
+    hash witnesses admission control, fair-share dispatch order, *and*
+    campaign outcomes.  Deferred imports keep the module import-light for
+    worker processes that only run ``bo`` worlds.
+    """
+    from repro.service.loadgen import (LoadGenerator, TenantLoad,
+                                       synthetic_runner)
+    from repro.service.service import CampaignService, FacilitySlot
+    from repro.sim.kernel import Simulator
+
+    n_tenants = int(config.get("n_tenants", 4))
+    n_slots = int(config.get("n_slots", 4))
+    campaigns = int(config.get("campaigns", 6))
+    experiments = int(config.get("experiments", 4))
+
+    sim = Simulator()
+    runner = synthetic_runner(sim, seed=int(seed),
+                              mean_experiment_s=240.0)
+    service = CampaignService(
+        sim, [FacilitySlot(f"slot-{i}", runner) for i in range(n_slots)])
+    loads = []
+    for i in range(n_tenants):
+        if i % 2 == 0:
+            loads.append(TenantLoad(
+                name=f"tenant-{i}", mode="closed", campaigns=campaigns,
+                concurrency=2, experiments=experiments,
+                share=1.0 + (i % 3)))
+        else:
+            loads.append(TenantLoad(
+                name=f"tenant-{i}", mode="open", campaigns=campaigns,
+                arrival_rate_per_s=1.0 / 300.0, experiments=experiments,
+                deadline_s=float(config.get("deadline_s", 50_000.0))))
+    gen = LoadGenerator(service, loads, seed=int(seed))
+    summary = gen.run()
+    return {"seed": int(seed), **summary,
+            "decisions": service.decision_log()}
 
 
 #: name -> entrypoint, for the CLI and config-driven sweeps.
-WORLD_KINDS = {"bo": bo_world, "testbed": testbed_world}
+WORLD_KINDS = {"bo": bo_world, "service": service_world,
+               "testbed": testbed_world}

@@ -1,0 +1,78 @@
+"""Service-layer exceptions: admission rejections and handle errors.
+
+Admission control rejects *explicitly* — a bounded queue never silently
+drops a campaign.  Every rejection is an :class:`AdmissionError` subclass
+carrying the tenant and a stable ``reason`` slug (the same slug labels
+the ``service.rejected`` counter), so callers can branch on type and
+operators can alert on the metric.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(RuntimeError):
+    """Base class for everything :mod:`repro.service` raises."""
+
+
+class AdmissionError(ServiceError):
+    """A submission was rejected at the front door.
+
+    Attributes
+    ----------
+    tenant:
+        Who submitted.
+    reason:
+        Stable slug (``"unknown-tenant"``, ``"queue-full"``,
+        ``"budget-exhausted"``, ``"deadline-expired"``) matching the
+        ``reason`` label on the ``service.rejected`` counter.
+    """
+
+    reason = "rejected"
+
+    def __init__(self, tenant: str, message: str) -> None:
+        super().__init__(f"tenant {tenant!r}: {message}")
+        self.tenant = tenant
+
+
+class UnknownTenant(AdmissionError):
+    """Submission from a tenant that was never registered."""
+
+    reason = "unknown-tenant"
+
+
+class QueueFull(AdmissionError):
+    """The tenant's bounded queue is at ``max_queued`` — backpressure.
+
+    ``depth`` carries the queue depth at rejection time so callers can
+    implement informed retry/backoff.
+    """
+
+    reason = "queue-full"
+
+    def __init__(self, tenant: str, message: str, *, depth: int = 0) -> None:
+        super().__init__(tenant, message)
+        self.depth = depth
+
+
+class BudgetExhausted(AdmissionError):
+    """Admitting this campaign would exceed the tenant's experiment budget."""
+
+    reason = "budget-exhausted"
+
+
+class DeadlineExpired(AdmissionError):
+    """The submitted deadline already lies in the (simulated) past."""
+
+    reason = "deadline-expired"
+
+
+class CampaignNotDone(ServiceError):
+    """``handle.result()`` was called before the campaign finished."""
+
+
+class CampaignCancelled(ServiceError):
+    """``handle.result()`` on a cancelled (or deadline-expired) campaign."""
+
+
+class CampaignFailed(ServiceError):
+    """``handle.result()`` on a campaign whose runner raised."""

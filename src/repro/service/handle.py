@@ -1,0 +1,143 @@
+"""Campaign handles: the client's view of a submitted campaign."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.core.report import CampaignReport
+from repro.service.errors import (CampaignCancelled, CampaignFailed,
+                                  CampaignNotDone)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.campaign import CampaignSpec
+    from repro.sim.events import Event
+    from repro.sim.process import Process
+
+
+class CampaignStatus(str, Enum):
+    """Lifecycle of a submitted campaign.
+
+    ``QUEUED -> RUNNING -> COMPLETED | FAILED | CANCELLED``, with two
+    shortcuts: cancel-while-queued goes straight to ``CANCELLED``, and a
+    deadline that lapses before dispatch goes to ``EXPIRED``.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    CANCELLED = "cancelled"
+    EXPIRED = "expired"
+    FAILED = "failed"
+
+
+#: Statuses from which a campaign never moves again.
+TERMINAL_STATUSES = frozenset({
+    CampaignStatus.COMPLETED, CampaignStatus.CANCELLED,
+    CampaignStatus.EXPIRED, CampaignStatus.FAILED})
+
+
+class CampaignHandle:
+    """What :meth:`CampaignService.submit` returns.
+
+    A handle is the *only* coupling between a client and its campaign:
+    poll :attr:`status`, fetch the :meth:`result` report once done,
+    :meth:`cancel` it, or — from inside the simulation — ``yield from
+    handle.wait()`` to block until it finishes.
+    """
+
+    __slots__ = ("campaign_id", "tenant", "spec", "priority", "deadline",
+                 "submitted_at", "started_at", "finished_at", "status",
+                 "error", "_service", "_report", "_done", "_proc", "_entry")
+
+    def __init__(self, service: Any, campaign_id: str, tenant: str,
+                 spec: "CampaignSpec", priority: int,
+                 deadline: Optional[float], submitted_at: float,
+                 done: "Event") -> None:
+        self.campaign_id = campaign_id
+        self.tenant = tenant
+        self.spec = spec
+        self.priority = priority
+        self.deadline = deadline
+        self.submitted_at = submitted_at
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.status = CampaignStatus.QUEUED
+        self.error = ""
+        self._service = service
+        self._report: Optional[CampaignReport] = None
+        self._done = done
+        self._proc: Optional["Process"] = None
+        self._entry: Any = None
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True once the campaign reached a terminal status."""
+        return self.status in TERMINAL_STATUSES
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        """Sim-seconds spent queued (``None`` until dispatched/finished)."""
+        if self.started_at is not None:
+            return self.started_at - self.submitted_at
+        if self.finished_at is not None:  # cancelled/expired in queue
+            return self.finished_at - self.submitted_at
+        return None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submit-to-complete sim-seconds (``None`` until terminal)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    # -- outcomes ----------------------------------------------------------
+
+    def result(self) -> CampaignReport:
+        """The campaign's :class:`~repro.core.report.CampaignReport`.
+
+        Raises
+        ------
+        CampaignNotDone / CampaignCancelled / CampaignFailed
+            When called early, after cancel/expiry, or after a runner
+            error (``.error`` carries the failure text).
+        """
+        if self.status is CampaignStatus.COMPLETED:
+            assert self._report is not None
+            return self._report
+        if self.status in (CampaignStatus.CANCELLED, CampaignStatus.EXPIRED):
+            raise CampaignCancelled(
+                f"campaign {self.campaign_id} was {self.status.value}")
+        if self.status is CampaignStatus.FAILED:
+            raise CampaignFailed(
+                f"campaign {self.campaign_id} failed: {self.error}")
+        raise CampaignNotDone(
+            f"campaign {self.campaign_id} is {self.status.value}; "
+            f"run the simulator (or `yield from handle.wait()`) first")
+
+    def cancel(self) -> bool:
+        """Cancel this campaign; returns True if anything was cancelled.
+
+        Queued campaigns are removed immediately; running ones are
+        interrupted (the status flips to ``CANCELLED`` once the
+        interrupt is delivered, at the current sim time).  Cancelling a
+        finished campaign is a no-op returning False.
+        """
+        return self._service.cancel(self)
+
+    def wait(self):
+        """Generator: block (in sim time) until terminal, return the report.
+
+        Usage from inside a simulation process::
+
+            report = yield from handle.wait()
+        """
+        if not self.done:
+            yield self._done
+        return self.result()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<CampaignHandle {self.campaign_id} tenant={self.tenant} "
+                f"{self.status.value}>")

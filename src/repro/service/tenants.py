@@ -1,0 +1,98 @@
+"""Per-tenant quotas and usage accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission-control limits for one tenant.
+
+    Attributes
+    ----------
+    max_in_flight:
+        Campaigns this tenant may have *running* on facility slots at
+        once; the scheduler skips tenants at their cap (they stay
+        queued, they are not rejected).
+    max_queued:
+        Bound on the tenant's wait queue; submissions beyond it are
+        rejected with :class:`~repro.service.errors.QueueFull`.
+    experiment_budget:
+        Optional lifetime cap on *admitted* experiments (the sum of
+        ``spec.max_experiments`` over accepted submissions); exceeding
+        it rejects with :class:`~repro.service.errors.BudgetExhausted`.
+        ``None`` = unmetered.
+    share:
+        Fair-share weight: a tenant with ``share=2.0`` is entitled to
+        twice the facility throughput of a ``share=1.0`` tenant under
+        contention.
+    """
+
+    max_in_flight: int = 4
+    max_queued: int = 64
+    experiment_budget: Optional[int] = None
+    share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if self.max_queued < 0:
+            raise ValueError("max_queued must be >= 0")
+        if self.experiment_budget is not None and self.experiment_budget < 0:
+            raise ValueError("experiment_budget must be >= 0 or None")
+        if not self.share > 0:
+            raise ValueError("share must be > 0")
+
+
+#: Default quota applied by ``CampaignService(default_quota=...)`` users
+#: that opt into auto-registration.
+DEFAULT_QUOTA = TenantQuota()
+
+
+@dataclass
+class TenantState:
+    """Live usage accounting for one registered tenant.
+
+    Mutated only by the owning :class:`~repro.service.CampaignService`;
+    read freely (``service.tenant("a").running``).
+    """
+
+    name: str
+    quota: TenantQuota
+    queued: int = 0
+    running: int = 0
+    admitted_experiments: int = 0
+    completed_campaigns: int = 0
+    completed_experiments: int = 0
+    rejected: int = 0
+
+    @property
+    def budget_remaining(self) -> Optional[int]:
+        """Unadmitted experiment budget (``None`` = unmetered)."""
+        if self.quota.experiment_budget is None:
+            return None
+        return self.quota.experiment_budget - self.admitted_experiments
+
+    @property
+    def in_system(self) -> int:
+        """Queued + running campaigns (the backpressure quantity)."""
+        return self.queued + self.running
+
+
+def jain_fairness(values: "list[float] | tuple[float, ...]") -> float:
+    """Jain's fairness index: ``(Σx)² / (n·Σx²)``, in ``(0, 1]``.
+
+    1.0 = perfectly even allocation; ``1/n`` = one tenant got
+    everything.  An empty or all-zero allocation counts as fair (1.0) —
+    nobody was served, nobody was starved relative to anyone else.
+    """
+    xs = [float(v) for v in values]
+    if not xs:
+        return 1.0
+    total = sum(xs)
+    squares = sum(x * x for x in xs)
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(xs) * squares)

@@ -25,10 +25,15 @@ keep working — the builder is sugar, not a fork.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.core.campaign import CampaignResult, CampaignSpec
+from repro.core.report import CampaignReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.service import CampaignService
 from repro.core.federation import FederationManager, LabSite
 from repro.core.knowledge import KnowledgeBase
 from repro.core.orchestrator import HierarchicalOrchestrator
@@ -153,16 +158,46 @@ class SiteBuilder:
     def build(self) -> "BuiltTestbed":
         return self._testbed.build()
 
-    def __getattr__(self, name: str) -> Any:
-        # Testbed-level toggles (with_mesh, secure, ...) chain through a
-        # site builder transparently, then return it for further chaining.
-        attr = getattr(self._testbed, name)
-        if callable(attr):
-            def forward(*args: Any, **kw: Any):
-                out = attr(*args, **kw)
-                return self if out is self._testbed else out
-            return forward
-        return attr
+    # -- testbed-level toggles (explicit pass-throughs) --------------------
+    # These mirror the federation-level methods on :class:`Testbed` so a
+    # chain can flip them without breaking out of the site builder::
+    #
+    #     Testbed(seed=1).site("a").with_knowledge().site("b").build()
+    #
+    # Each delegates to the owning testbed and returns *this* builder,
+    # keeping the chain anchored on the current site.
+
+    def secure(self, enabled: bool = True) -> "SiteBuilder":
+        """Testbed-level: see :meth:`Testbed.secure`."""
+        self._testbed.secure(enabled)
+        return self
+
+    def with_mesh(self, enabled: bool = True) -> "SiteBuilder":
+        """Testbed-level: see :meth:`Testbed.with_mesh`."""
+        self._testbed.with_mesh(enabled)
+        return self
+
+    def with_knowledge(self, policy: str = "corrected") -> "SiteBuilder":
+        """Testbed-level: see :meth:`Testbed.with_knowledge`."""
+        self._testbed.with_knowledge(policy)
+        return self
+
+    def with_metrics(self, registry: Optional["MetricsRegistry"] = None,
+                     ) -> "SiteBuilder":
+        """Testbed-level: see :meth:`Testbed.with_metrics`."""
+        self._testbed.with_metrics(registry)
+        return self
+
+    def with_tracing(self, tracer: Optional["Tracer"] = None,
+                     ) -> "SiteBuilder":
+        """Testbed-level: see :meth:`Testbed.with_tracing`."""
+        self._testbed.with_tracing(tracer)
+        return self
+
+    def wan_latency(self, latency_s: float) -> "SiteBuilder":
+        """Testbed-level: see :meth:`Testbed.wan_latency`."""
+        self._testbed.wan_latency(latency_s)
+        return self
 
 
 class Testbed:
@@ -357,32 +392,44 @@ class BuiltTestbed:
         proc = self.sim.process(orch.run_campaign(spec))
         return self.sim.run(until=proc)
 
-    def run_summary(self, spec: CampaignSpec,
-                    site: Optional[str] = None) -> dict:
-        """Run a campaign and return a picklable plain-data summary.
+    def run_report(self, spec: CampaignSpec,
+                   site: Optional[str] = None) -> "CampaignReport":
+        """Run a campaign and return its canonical
+        :class:`~repro.core.report.CampaignReport`.
 
-        This is the shape the scale-out layer (:mod:`repro.scale`) ships
-        across process boundaries: a :class:`CampaignResult` drags the
-        whole live world behind it (simulator, agents, generators), while
-        this dict is pure data — safe to pickle and canonical enough for
-        :func:`repro.scale.hashing.decision_hash` to digest.  The
-        ``decisions`` rows (index, objective, timing, validity) pin the
-        full per-experiment decision sequence, not just the winner.
+        This is the unified front door: the report is typed, plain-data
+        (``.to_dict()`` is picklable and canonical enough for
+        :func:`repro.scale.hashing.decision_hash` to digest — its
+        ``decisions`` rows pin the full per-experiment sequence, not
+        just the winner), and the same shape the campaign service
+        returns, so single-site runs, scale-out worlds, and multi-tenant
+        service runs all speak one result type.
         """
         result = self.run(spec, site)
-        decisions = [
-            [float(r.index),
-             float(r.objective) if r.objective is not None else float("nan"),
-             float(r.started), float(r.finished), 1.0 if r.valid else 0.0]
-            for r in result.records]
-        return {
-            "campaign": spec.name,
-            "objective_key": spec.objective_key,
-            "n_experiments": result.n_experiments,
-            "n_valid": result.n_valid,
-            "best_value": (float(result.best_value)
-                           if result.best_value is not None else None),
-            "stop_reason": result.stop_reason,
-            "sim_seconds": float(self.sim.now),
-            "decisions": decisions,
-        }
+        return CampaignReport.from_result(result,
+                                          sim_seconds=float(self.sim.now),
+                                          target=spec.target)
+
+    def run_summary(self, spec: CampaignSpec,
+                    site: Optional[str] = None) -> dict:
+        """Deprecated: use ``run_report(spec, site).to_dict()``.
+
+        The report dict is a strict superset of the old summary shape
+        (same ``decisions`` rows; extra derived fields like
+        ``correctness`` and ``duration_s``).
+        """
+        warnings.warn(
+            "BuiltTestbed.run_summary() is deprecated; use "
+            "run_report(spec, site).to_dict() instead",
+            DeprecationWarning, stacklevel=2)
+        return self.run_report(spec, site).to_dict()
+
+    def as_service(self, *, sites: Optional[list] = None,
+                   **kwargs: Any) -> "CampaignService":
+        """A multi-tenant :class:`~repro.service.CampaignService` whose
+        facility slots are this testbed's sites (one slot per site; pass
+        ``sites=[...]`` to choose).  Keyword arguments forward to the
+        service constructor (``scheduler=``, ``default_quota=``, ...).
+        """
+        from repro.service.service import CampaignService
+        return CampaignService.from_testbed(self, sites=sites, **kwargs)

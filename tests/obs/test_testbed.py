@@ -40,7 +40,7 @@ def test_builder_chains_site_and_federation_toggles():
              .site("site-0", landscape=QuantumDotLandscape(seed=7))
              .with_planner(mode="llm-direct", hallucination_rate=0.5)
              .without_verification()
-             .with_knowledge()       # testbed-level, forwarded via __getattr__
+             .with_knowledge()       # testbed-level, explicit pass-through
              .site("site-1", landscape=QuantumDotLandscape(seed=8))
              .isolated()
              .build())
@@ -109,3 +109,25 @@ def test_external_simulator_is_used():
              .site("site-0", landscape=QuantumDotLandscape(seed=7))
              .build())
     assert built.sim is sim
+
+
+def test_run_report_is_canonical_and_run_summary_warns():
+    spec = CampaignSpec(name="rep", objective_key="plqy", max_experiments=5)
+    built = (Testbed(seed=6)
+             .site("site-0", landscape=QuantumDotLandscape(seed=7))
+             .build())
+    report = built.run_report(spec)
+    assert report.n_experiments == 5
+    assert report.sim_seconds >= report.finished
+
+    rebuilt = (Testbed(seed=6)
+               .site("site-0", landscape=QuantumDotLandscape(seed=7))
+               .build())
+    with pytest.warns(DeprecationWarning, match="run_summary"):
+        summary = rebuilt.run_summary(spec)
+    assert summary == report.to_dict()
+
+
+def test_site_builder_has_no_magic_forwarding():
+    with pytest.raises(AttributeError):
+        Testbed(seed=1).site("site-0").no_such_toggle()

@@ -31,7 +31,7 @@ def test_quick_run_produces_versioned_report():
 def test_all_workloads_registered():
     assert set(WORKLOADS) == {"surrogate_e12", "gp_scaling", "sim_events",
                               "bus_throughput", "bus_routing_indexed",
-                              "parallel_worlds"}
+                              "parallel_worlds", "service_multitenant"}
 
 
 def test_unknown_workload_rejected():

@@ -1,0 +1,127 @@
+"""Admission-control edge cases: quotas, budgets, deadlines, queues."""
+
+import pytest
+
+from repro.core.campaign import CampaignSpec
+from repro.service import (BudgetExhausted, CampaignService, CampaignStatus,
+                           DeadlineExpired, FacilitySlot, QueueFull,
+                           TenantQuota, UnknownTenant, synthetic_runner)
+from repro.sim.kernel import Simulator
+
+
+def spec(name, experiments=3):
+    return CampaignSpec(name=name, objective_key="objective",
+                        max_experiments=experiments)
+
+
+def make_service(n_slots=1, **kw):
+    sim = Simulator()
+    runner = synthetic_runner(sim, seed=1, mean_experiment_s=100.0)
+    svc = CampaignService(
+        sim, [FacilitySlot(f"slot-{i}", runner) for i in range(n_slots)],
+        **kw)
+    return sim, svc
+
+
+def test_unknown_tenant_rejected_by_default():
+    _, svc = make_service()
+    with pytest.raises(UnknownTenant) as exc:
+        svc.submit("nobody", spec("c"))
+    assert exc.value.tenant == "nobody"
+    assert exc.value.reason == "unknown-tenant"
+
+
+def test_default_quota_auto_registers_unknown_tenants():
+    sim, svc = make_service(default_quota=TenantQuota(max_queued=2))
+    handle = svc.submit("walk-in", spec("c"))
+    assert svc.tenant("walk-in").quota.max_queued == 2
+    sim.run()
+    assert handle.status is CampaignStatus.COMPLETED
+
+
+def test_queue_full_rejects_with_depth():
+    _, svc = make_service()
+    svc.register_tenant("a", TenantQuota(max_queued=2))
+    svc.submit("a", spec("c0"))
+    svc.submit("a", spec("c1"))
+    with pytest.raises(QueueFull) as exc:
+        svc.submit("a", spec("c2"))
+    assert exc.value.reason == "queue-full"
+    assert exc.value.depth == 2
+    assert svc.tenant("a").rejected == 1
+
+
+def test_queue_frees_as_campaigns_dispatch():
+    sim, svc = make_service(n_slots=2)
+    svc.register_tenant("a", TenantQuota(max_in_flight=2, max_queued=2))
+    handles = [svc.submit("a", spec(f"c{i}")) for i in range(2)]
+    sim.run()
+    assert all(h.status is CampaignStatus.COMPLETED for h in handles)
+    # Queue drained; submitting again is fine.
+    late = svc.submit("a", spec("late"))
+    sim.run()
+    assert late.status is CampaignStatus.COMPLETED
+
+
+def test_experiment_budget_exhaustion():
+    _, svc = make_service()
+    svc.register_tenant("a", TenantQuota(experiment_budget=5))
+    svc.submit("a", spec("c0", experiments=3))
+    assert svc.tenant("a").budget_remaining == 2
+    with pytest.raises(BudgetExhausted) as exc:
+        svc.submit("a", spec("c1", experiments=3))
+    assert exc.value.reason == "budget-exhausted"
+    # A smaller campaign still fits the remaining budget.
+    svc.submit("a", spec("c2", experiments=2))
+    assert svc.tenant("a").budget_remaining == 0
+
+
+def test_deadline_already_expired_at_submit():
+    sim, svc = make_service()
+    svc.register_tenant("a")
+
+    def driver():
+        yield sim.timeout(500.0)
+        with pytest.raises(DeadlineExpired) as exc:
+            svc.submit("a", spec("late"), deadline=100.0)
+        assert exc.value.reason == "deadline-expired"
+
+    sim.process(driver())
+    sim.run()
+
+
+def test_deadline_lapsing_in_queue_expires_campaign():
+    sim, svc = make_service()
+    svc.register_tenant("a", TenantQuota(max_in_flight=1))
+    # Higher priority occupies the only slot for ~5 * 100 s.
+    long = svc.submit("a", spec("long", experiments=5), priority=1)
+    late = svc.submit("a", spec("late"), deadline=100.0)
+    sim.run()
+    assert long.status is CampaignStatus.COMPLETED
+    assert late.status is CampaignStatus.EXPIRED
+    with pytest.raises(Exception):
+        late.result()
+
+
+def test_rejections_do_not_consume_budget_or_queue():
+    _, svc = make_service()
+    svc.register_tenant("a", TenantQuota(max_queued=1, experiment_budget=10))
+    svc.submit("a", spec("c0", experiments=4))
+    for _ in range(3):
+        with pytest.raises(QueueFull):
+            svc.submit("a", spec("again", experiments=4))
+    state = svc.tenant("a")
+    assert state.admitted_experiments == 4
+    assert state.queued == 1
+    assert state.rejected == 3
+
+
+def test_rejection_metrics_labelled_by_reason():
+    _, svc = make_service()
+    svc.register_tenant("a", TenantQuota(max_queued=0))
+    with pytest.raises(QueueFull):
+        svc.submit("a", spec("c"))
+    snap = svc.metrics.snapshot()
+    assert snap["counters"][
+        "service.rejected{reason=queue-full,tenant=a}"] == 1
+    assert snap["counters"]["service.submitted{tenant=a}"] == 1

@@ -1,0 +1,116 @@
+"""Load generation: fairness under skew, backpressure, open/closed mix."""
+
+import pytest
+
+from repro.service import (CampaignService, FacilitySlot, LoadGenerator,
+                           TenantLoad, TenantQuota, jain_fairness,
+                           synthetic_runner)
+from repro.sim.kernel import Simulator
+
+
+def make_service(n_slots, seed=1, mean_experiment_s=100.0):
+    sim = Simulator()
+    runner = synthetic_runner(sim, seed=seed,
+                              mean_experiment_s=mean_experiment_s)
+    return CampaignService(
+        sim, [FacilitySlot(f"slot-{i}", runner) for i in range(n_slots)])
+
+
+def test_jain_fairness_index():
+    assert jain_fairness([]) == 1.0
+    assert jain_fairness([0.0, 0.0]) == 1.0
+    assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+    assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+
+def test_closed_loop_completes_all_campaigns():
+    svc = make_service(4)
+    gen = LoadGenerator(svc, [TenantLoad(name="t", mode="closed",
+                                         campaigns=10, concurrency=4,
+                                         experiments=2)], seed=3)
+    out = gen.run()
+    assert out["campaigns_completed"] == 10
+    assert out["tenants"]["t"]["rejections"] == 0
+    assert out["p99_submit_to_complete_s"] > 0
+
+
+def test_open_loop_overload_rejects_explicitly():
+    # One slot, tiny queue, arrivals far above service rate: the bounded
+    # queue must push back with explicit rejections, never silent drops.
+    svc = make_service(1, mean_experiment_s=500.0)
+    load = TenantLoad(name="burst", mode="open", campaigns=40,
+                      arrival_rate_per_s=0.1, experiments=4,
+                      quota=TenantQuota(max_in_flight=1, max_queued=2))
+    gen = LoadGenerator(svc, [load], seed=5)
+    out = gen.run(until=20_000.0)
+    t = out["tenants"]["burst"]
+    assert t["rejections"] > 0
+    assert t["submitted"] + t["rejections"] <= 40
+    assert out["peak_in_system"] <= 3  # 1 running + 2 queued
+
+
+def test_fairness_under_skewed_load():
+    # One tenant floods 10x harder; equal shares must still split
+    # delivered throughput roughly evenly under saturation.
+    svc = make_service(4, mean_experiment_s=200.0)
+    loads = [
+        TenantLoad(name="flood", mode="closed", campaigns=60,
+                   concurrency=20, experiments=4,
+                   quota=TenantQuota(max_in_flight=20, max_queued=100)),
+        TenantLoad(name="polite", mode="closed", campaigns=60,
+                   concurrency=2, experiments=4,
+                   quota=TenantQuota(max_in_flight=20, max_queued=100)),
+    ]
+    gen = LoadGenerator(svc, loads, seed=9)
+    out = gen.run(until=12_000.0)
+    assert out["fairness"] >= 0.8
+    flood = out["tenants"]["flood"]["experiments"]
+    polite = out["tenants"]["polite"]["experiments"]
+    assert polite > 0
+    # The flooder must not get more than ~2x despite 10x the pressure.
+    assert flood / max(polite, 1) < 2.0
+
+
+def test_weighted_shares_deliver_proportional_throughput():
+    svc = make_service(4, mean_experiment_s=200.0)
+    loads = [
+        TenantLoad(name="gold", mode="closed", campaigns=60,
+                   concurrency=10, experiments=4, share=3.0,
+                   quota=TenantQuota(max_in_flight=10, max_queued=100,
+                                     share=3.0)),
+        TenantLoad(name="bronze", mode="closed", campaigns=60,
+                   concurrency=10, experiments=4,
+                   quota=TenantQuota(max_in_flight=10, max_queued=100)),
+    ]
+    # Cut off at half the total work so contention (not completion)
+    # determines who got served.
+    gen = LoadGenerator(svc, loads, seed=9)
+    out = gen.run(until=12_000.0)
+    gold = out["tenants"]["gold"]["experiments"]
+    bronze = out["tenants"]["bronze"]["experiments"]
+    assert gold / max(bronze, 1) == pytest.approx(3.0, rel=0.25)
+
+
+def test_mixed_open_closed_population():
+    svc = make_service(8)
+    loads = [
+        TenantLoad(name="closed", mode="closed", campaigns=12,
+                   concurrency=4, experiments=2),
+        TenantLoad(name="open", mode="open", campaigns=12,
+                   arrival_rate_per_s=0.01, experiments=2),
+    ]
+    out = LoadGenerator(svc, loads, seed=2).run()
+    assert out["campaigns_completed"] == 24
+    assert 0.9 <= out["fairness"] <= 1.0
+
+
+def test_bad_load_shapes_rejected():
+    with pytest.raises(ValueError):
+        TenantLoad(name="x", mode="sideways")
+    with pytest.raises(ValueError):
+        TenantLoad(name="x", mode="open", arrival_rate_per_s=0.0)
+    with pytest.raises(ValueError):
+        TenantLoad(name="x", mode="closed", concurrency=0)
+    svc = make_service(1)
+    with pytest.raises(ValueError):
+        LoadGenerator(svc, [])

@@ -59,6 +59,17 @@ def test_cross_facility_workflow_runs(capsys, monkeypatch):
     assert "analysis verdict" in out
 
 
+def test_campaign_service_runs(capsys, monkeypatch):
+    # The example itself asserts the replayed run reproduces the same
+    # decision hash — the acceptance criterion for repro.service.
+    _run_main("examples.campaign_service", monkeypatch)
+    out = capsys.readouterr().out
+    assert "reason=queue-full" in out
+    assert "'expired': 1" in out
+    assert "cancelled par-7" in out
+    assert "decision hash reproduced" in out
+
+
 def test_observability_tour_runs(capsys, monkeypatch):
     # The example itself asserts its two seeded runs export byte-identical
     # JSON-lines traces — the acceptance criterion for repro.obs.
