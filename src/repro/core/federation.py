@@ -115,6 +115,11 @@ class FederationManager:
         Wire the zero-trust stack (identity, ABAC, gateway).
     with_mesh:
         Attach a federated data mesh node per lab.
+    mesh_shards:
+        ``None`` (default) backs the mesh with one flat
+        :class:`~repro.data.mesh.DiscoveryIndex`; a positive count backs
+        it with a :class:`~repro.data.shard.ShardedDiscoveryIndex` of
+        that many facility-routed shards (the 1000-lab configuration).
     metrics:
         Optional shared :class:`~repro.obs.metrics.MetricsRegistry`; one
         is created when omitted so ``fed.metrics`` always sees the whole
@@ -127,6 +132,7 @@ class FederationManager:
     def __init__(self, seed: int = 0, n_sites: int = 3, *,
                  objective_key: str = "plqy", secure: bool = False,
                  with_mesh: bool = False,
+                 mesh_shards: Optional[int] = None,
                  wan_latency_s: float = 0.02,
                  metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
@@ -166,8 +172,13 @@ class FederationManager:
                                             site_institution=site_institution)
 
         self.mesh: Optional[FederatedDataMesh] = None
-        if with_mesh:
-            self.mesh = FederatedDataMesh(self.sim, self.network)
+        if with_mesh or mesh_shards is not None:
+            index = None
+            if mesh_shards is not None:
+                from repro.data.shard import ShardedDiscoveryIndex
+                index = ShardedDiscoveryIndex(mesh_shards)
+            self.mesh = FederatedDataMesh(self.sim, self.network,
+                                          index=index)
 
     # -- lab construction ----------------------------------------------------------
 

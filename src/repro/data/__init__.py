@@ -15,6 +15,9 @@ from repro.data.fair import FairGovernor, fair_score
 from repro.data.mesh import DataMeshNode, DiscoveryIndex, FederatedDataMesh
 from repro.data.metadata import Annotation, MetadataExtractor
 from repro.data.provenance import ProvenanceGraph
+from repro.data.replay import (CampaignArchive, ReplayTimeline,
+                               record_campaign, replay_campaign)
+from repro.data.shard import ShardedDiscoveryIndex, shard_for
 from repro.data.proxystore import Proxy, ProxyStore
 from repro.data.quality import AnomalyDetector, QualityAssessor, QualityReport
 from repro.data.record import DataRecord
@@ -24,6 +27,7 @@ from repro.data.streams import StreamProcessor
 __all__ = [
     "Annotation",
     "AnomalyDetector",
+    "CampaignArchive",
     "DataMeshNode",
     "DataRecord",
     "DiscoveryIndex",
@@ -36,9 +40,14 @@ __all__ = [
     "ProxyStore",
     "QualityAssessor",
     "QualityReport",
+    "ReplayTimeline",
     "Schema",
     "SchemaNegotiator",
     "SchemaRegistry",
+    "ShardedDiscoveryIndex",
     "StreamProcessor",
     "fair_score",
+    "record_campaign",
+    "replay_campaign",
+    "shard_for",
 ]

@@ -20,20 +20,30 @@ from repro.data.streams import StreamProcessor
 from repro.instruments.base import Measurement
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
     from repro.sim.kernel import Simulator
 
 
 class TelemetryPublisher:
-    """Instrument-side: publish measurements onto the bus."""
+    """Instrument-side: publish measurements onto the bus.
+
+    With a ``metrics`` registry the ``stats`` mapping is backed by
+    shared ``ingest.publisher.*`` counters (per-site labels), so every
+    publisher in a federation reports through the same mergeable path;
+    without one it stays a private plain dict.
+    """
 
     def __init__(self, sim: "Simulator", bus: MessageBus, broker: str,
-                 site: str, token=None) -> None:
+                 site: str, token=None,
+                 metrics: "Optional[MetricsRegistry]" = None) -> None:
         self.sim = sim
         self.bus = bus
         self.broker = broker
         self.site = site
         self.token = token
-        self.stats = {"published": 0, "failed": 0}
+        initial = {"published": 0, "failed": 0}
+        self.stats = (metrics.stats("ingest.publisher", initial, site=site)
+                      if metrics is not None else initial)
 
     @staticmethod
     def topic_for(measurement: Measurement) -> str:
@@ -72,7 +82,8 @@ class MeshIngestor:
 
     def __init__(self, sim: "Simulator", bus: MessageBus, broker: str,
                  queue: str, site: str, institution: str,
-                 stream: StreamProcessor, token=None) -> None:
+                 stream: StreamProcessor, token=None,
+                 metrics: "Optional[MetricsRegistry]" = None) -> None:
         self.sim = sim
         self.bus = bus
         self.broker = broker
@@ -81,7 +92,9 @@ class MeshIngestor:
         self.institution = institution
         self.stream = stream
         self.token = token
-        self.stats = {"consumed": 0, "malformed": 0}
+        initial = {"consumed": 0, "malformed": 0}
+        self.stats = (metrics.stats("ingest.mesh", initial, site=site)
+                      if metrics is not None else initial)
         self._proc = None
 
     def start(self) -> None:
@@ -115,14 +128,16 @@ class MeshIngestor:
 
 def wire_site_telemetry(sim: "Simulator", bus: MessageBus, broker_name: str,
                         site: str, institution: str,
-                        stream: StreamProcessor,
-                        token=None) -> tuple[TelemetryPublisher, MeshIngestor]:
+                        stream: StreamProcessor, token=None,
+                        metrics: "Optional[MetricsRegistry]" = None,
+                        ) -> tuple[TelemetryPublisher, MeshIngestor]:
     """Declare the queue/binding and return a (publisher, ingestor) pair."""
     broker = bus.brokers[broker_name]
     queue = f"telemetry.{site}"
     broker.declare_queue(queue)
     broker.bind(queue, f"telemetry.{site}.#")
-    publisher = TelemetryPublisher(sim, bus, broker_name, site, token=token)
+    publisher = TelemetryPublisher(sim, bus, broker_name, site, token=token,
+                                   metrics=metrics)
     ingestor = MeshIngestor(sim, bus, broker_name, queue, site, institution,
-                            stream, token=token)
+                            stream, token=token, metrics=metrics)
     return publisher, ingestor

@@ -30,19 +30,75 @@ class AccessDenied(Exception):
     """ABAC refused a cross-institutional data access."""
 
 
+#: Entry fields served by inverted secondary indexes.  Dotted keys reach
+#: into nested dicts exactly as :meth:`DiscoveryIndex.query` filters do.
+INDEXED_FIELDS = ("schema_id", "site", "institution", "source",
+                  "metadata.technique")
+
+
+def _field_value(entry: dict[str, Any], key: str) -> Any:
+    """Resolve a (possibly dotted) filter key against one index entry."""
+    value: Any = entry
+    for part in key.split("."):
+        value = value.get(part) if isinstance(value, dict) else None
+        if value is None:
+            break
+    return value
+
+
+def _entry_matches(entry: dict[str, Any], equals: dict[str, Any],
+                   predicate: Optional[Callable[[dict[str, Any]], bool]],
+                   ) -> bool:
+    for key, want in equals.items():
+        if _field_value(entry, key) != want:
+            return False
+    return predicate is None or predicate(entry)
+
+
 class DiscoveryIndex:
-    """The global, metadata-only index all mesh nodes share."""
+    """The global, metadata-only index all mesh nodes share.
+
+    ``record_id`` lookups hit the primary dict directly, and equality
+    filters on :data:`INDEXED_FIELDS` are served from inverted postings
+    (value -> record ids) instead of scanning every entry.  ``stats``
+    counts how often queries were answered from an index
+    (``index_hits``) versus falling back to a full scan
+    (``index_misses``).
+    """
 
     def __init__(self) -> None:
         self._entries: dict[str, dict[str, Any]] = {}
-        self.stats = {"publishes": 0, "queries": 0}
+        self._inverted: dict[str, dict[Any, set[str]]] = {
+            f: {} for f in INDEXED_FIELDS}
+        self.stats = {"publishes": 0, "queries": 0,
+                      "index_hits": 0, "index_misses": 0}
 
     def publish(self, entry: dict[str, Any]) -> None:
-        self._entries[entry["record_id"]] = entry
+        record_id = entry["record_id"]
+        old = self._entries.get(record_id)
+        if old is not None:
+            self._unindex(old)
+        self._entries[record_id] = entry
+        for field in INDEXED_FIELDS:
+            value = _field_value(entry, field)
+            if value is not None:
+                self._inverted[field].setdefault(value, set()).add(record_id)
         self.stats["publishes"] += 1
 
     def remove(self, record_id: str) -> None:
-        self._entries.pop(record_id, None)
+        entry = self._entries.pop(record_id, None)
+        if entry is not None:
+            self._unindex(entry)
+
+    def _unindex(self, entry: dict[str, Any]) -> None:
+        record_id = entry["record_id"]
+        for field in INDEXED_FIELDS:
+            value = _field_value(entry, field)
+            postings = self._inverted[field].get(value)
+            if postings is not None:
+                postings.discard(record_id)
+                if not postings:
+                    del self._inverted[field][value]
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -50,29 +106,55 @@ class DiscoveryIndex:
     def __contains__(self, record_id: str) -> bool:
         return record_id in self._entries
 
+    def get(self, record_id: str) -> Optional[dict[str, Any]]:
+        """Direct primary-key lookup (no scan); ``None`` when unknown."""
+        entry = self._entries.get(record_id)
+        key = "index_hits" if entry is not None else "index_misses"
+        self.stats[key] += 1
+        return entry
+
     def query(self, predicate: Optional[Callable[[dict[str, Any]], bool]] = None,
               **equals: Any) -> list[dict[str, Any]]:
         """Find index entries by equality filters and/or a predicate.
 
         Dotted keys reach into ``metadata`` (e.g.
-        ``query(**{"metadata.technique": "powder-xrd"})``).
+        ``query(**{"metadata.technique": "powder-xrd"})``).  A
+        ``record_id=`` filter is a direct dict hit; filters on
+        :data:`INDEXED_FIELDS` intersect inverted postings; only queries
+        with no indexable filter at all scan every entry.
         """
         self.stats["queries"] += 1
+        if "record_id" in equals:
+            entry = self._entries.get(equals["record_id"])
+            self.stats["index_hits"] += 1
+            if entry is None:
+                return []
+            residual = {k: v for k, v in equals.items() if k != "record_id"}
+            return [entry] if _entry_matches(entry, residual, predicate) \
+                else []
+
+        candidates: Optional[set[str]] = None
+        residual: dict[str, Any] = {}
+        for key, want in equals.items():
+            postings_by_value = self._inverted.get(key)
+            if postings_by_value is None:
+                residual[key] = want
+                continue
+            postings = postings_by_value.get(want, set())
+            candidates = postings if candidates is None \
+                else candidates & postings
+        if candidates is None:
+            self.stats["index_misses"] += 1
+            pool: Any = self._entries
+        else:
+            self.stats["index_hits"] += 1
+            pool = candidates
         out = []
-        for entry in self._entries.values():
-            ok = True
-            for key, want in equals.items():
-                value: Any = entry
-                for part in key.split("."):
-                    value = value.get(part) if isinstance(value, dict) else None
-                    if value is None:
-                        break
-                if value != want:
-                    ok = False
-                    break
-            if ok and (predicate is None or predicate(entry)):
+        for record_id in sorted(pool):
+            entry = self._entries[record_id]
+            if _entry_matches(entry, residual, predicate):
                 out.append(entry)
-        return sorted(out, key=lambda e: e["record_id"])
+        return out
 
 
 class DataMeshNode:
@@ -230,13 +312,30 @@ class DataMeshNode:
 
 
 class FederatedDataMesh:
-    """Facade over all nodes: discovery + transparent cross-site fetch."""
+    """Facade over all nodes: discovery + transparent cross-site fetch.
+
+    Parameters
+    ----------
+    sim, network:
+        Kernel and transport.
+    index:
+        Shared discovery index — a flat :class:`DiscoveryIndex` (default)
+        or a :class:`~repro.data.shard.ShardedDiscoveryIndex` for
+        facility-sharded federations.
+    index_site:
+        Where the discovery index is hosted (queries pay a WAN hop to
+        it).  Defaults to the first *registered* node's site — recorded
+        explicitly at :meth:`add_node` time so placement never depends
+        on live dict iteration order.
+    """
 
     def __init__(self, sim: "Simulator", network: "Network",
-                 index: Optional[DiscoveryIndex] = None) -> None:
+                 index: Any = None,
+                 index_site: Optional[str] = None) -> None:
         self.sim = sim
         self.network = network
-        self.index = index or DiscoveryIndex()
+        self.index = index if index is not None else DiscoveryIndex()
+        self.index_site = index_site
         self.nodes: dict[str, DataMeshNode] = {}
 
     def add_node(self, node: DataMeshNode) -> DataMeshNode:
@@ -245,6 +344,8 @@ class FederatedDataMesh:
         if node.index is not self.index:
             raise ValueError("node must share the mesh's discovery index")
         self.nodes[node.site] = node
+        if self.index_site is None:
+            self.index_site = node.site
         return node
 
     def make_node(self, site: str, institution: str, **kw: Any) -> DataMeshNode:
@@ -253,11 +354,9 @@ class FederatedDataMesh:
         return self.add_node(node)
 
     def discover(self, from_site: str, **filters: Any):
-        """Generator: query the index (pays one WAN hop to it).
-
-        The index is modelled as co-hosted with the first registered node.
-        """
-        index_site = next(iter(self.nodes)) if self.nodes else from_site
+        """Generator: query the index (pays one WAN hop to it)."""
+        index_site = self.index_site if self.index_site is not None \
+            else from_site
         yield self.network.send(from_site, index_site, 256.0)
         entries = self.index.query(**filters)
         yield self.network.send(index_site, from_site,
@@ -266,15 +365,12 @@ class FederatedDataMesh:
 
     def fetch(self, record_id: str, to_site: str, token: Any = None):
         """Generator: locate a record via the index and pull it."""
-        entry = None
-        if record_id in self.index:
-            entries = self.index.query(record_id=record_id)
-            entry = entries[0] if entries else None
+        entry = self.index.get(record_id)
         if entry is None:
             # Fall back to a scan of nodes (e.g. before index replication).
-            for node in self.nodes.values():
-                if node.has(record_id):
-                    entry = {"site": node.site}
+            for site in sorted(self.nodes):
+                if self.nodes[site].has(record_id):
+                    entry = {"site": site}
                     break
         if entry is None:
             raise KeyError(f"{record_id} not known to the federation")
@@ -282,3 +378,17 @@ class FederatedDataMesh:
         record = yield from home.fetch(record_id, requester_site=to_site,
                                        requester_token=token)
         return record
+
+    def merged_provenance(self, *, namespaced: bool = False
+                          ) -> ProvenanceGraph:
+        """Federation-wide provenance: every node's shard, merged.
+
+        With ``namespaced=True`` each node's local ids are prefixed
+        ``<site>::`` (the qualified form cross-shard
+        ``wasDerivedFrom`` references use); without it, ids must already
+        be globally unique (true for records minted by the per-world
+        :class:`~repro.sim.ids.IdSequencer`).
+        """
+        return ProvenanceGraph.merge_shards(
+            {site: self.nodes[site].provenance for site in sorted(self.nodes)},
+            namespaced=namespaced)

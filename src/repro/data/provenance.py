@@ -25,11 +25,31 @@ INFORMED_BY = "wasInformedBy"
 ATTRIBUTED_TO = "wasAttributedTo"
 
 
+#: Separator between a shard namespace and a local node id in qualified
+#: (cross-shard) node names: ``site-3::rec-0042``.
+NAMESPACE_SEP = "::"
+
+
+def qualified(namespace: str, node_id: str) -> str:
+    """Fully-qualified cross-shard name for a node held by ``namespace``."""
+    return f"{namespace}{NAMESPACE_SEP}{node_id}" if namespace else node_id
+
+
 class ProvenanceGraph:
-    """A typed provenance DAG with PROV-O relation vocabulary."""
+    """A typed provenance DAG with PROV-O relation vocabulary.
+
+    Graphs are *mergeable*: each facility keeps its own shard, and
+    :meth:`merge_from` / :meth:`merge_shards` assemble federation-wide
+    views, optionally namespacing node ids by shard.  Cross-shard
+    derivations recorded with ``was_derived_from(..., cross_shard=True)``
+    stay *pending* until a merge brings the referenced foreign node in,
+    at which point they are stitched into real edges.
+    """
 
     def __init__(self) -> None:
         self._g = nx.DiGraph()
+        # Deferred cross-shard relations: (src, fully-qualified dst, kind).
+        self._pending: list[tuple[str, str, str]] = []
 
     # -- node creation ---------------------------------------------------------
 
@@ -75,7 +95,19 @@ class ProvenanceGraph:
     def was_associated_with(self, activity: str, agent: str) -> None:
         self._relate(activity, agent, ASSOCIATED_WITH)
 
-    def was_derived_from(self, entity: str, source_entity: str) -> None:
+    def was_derived_from(self, entity: str, source_entity: str, *,
+                         cross_shard: bool = False) -> None:
+        """Entity derivation; ``cross_shard=True`` defers the edge.
+
+        A cross-shard derivation names a *foreign* source by its
+        fully-qualified id (see :func:`qualified`); the edge is recorded
+        as pending and stitched when a merge brings that node in.
+        """
+        if cross_shard:
+            if entity not in self._g:
+                raise KeyError(f"unknown provenance node {entity!r}")
+            self._pending.append((entity, source_entity, DERIVED_FROM))
+            return
         self._relate(entity, source_entity, DERIVED_FROM)
 
     def was_informed_by(self, activity: str, earlier_activity: str) -> None:
@@ -84,6 +116,63 @@ class ProvenanceGraph:
     def was_attributed_to(self, entity: str, agent: str) -> None:
         self._relate(entity, agent, ATTRIBUTED_TO)
 
+    # -- shard merging -----------------------------------------------------------------
+
+    @property
+    def pending_stitches(self) -> list[tuple[str, str, str]]:
+        """Unresolved cross-shard relations, ``(src, dst, kind)``."""
+        return sorted(self._pending)
+
+    def _stitch(self) -> int:
+        """Turn every resolvable pending relation into a real edge."""
+        stitched, still_pending = 0, []
+        for src, dst, kind in self._pending:
+            if src in self._g and dst in self._g:
+                self._g.add_edge(src, dst, kind=kind)
+                stitched += 1
+            else:
+                still_pending.append((src, dst, kind))
+        self._pending = still_pending
+        return stitched
+
+    def merge_from(self, other: "ProvenanceGraph", *,
+                   namespace: Optional[str] = None) -> int:
+        """Copy ``other``'s shard into this graph; returns edges stitched.
+
+        With ``namespace`` every one of ``other``'s node ids is prefixed
+        ``<namespace>::`` — its *local* naming scope.  Pending cross-shard
+        references are **not** prefixed: they already name foreign nodes
+        by fully-qualified id, which is exactly what lets them resolve
+        once the owning shard merges in under that namespace.  Node-id
+        collisions with a different ``prov_type`` raise ``ValueError``
+        (same contract as local node creation).
+        """
+        prefix = f"{namespace}{NAMESPACE_SEP}" if namespace else ""
+        for node_id in sorted(other._g.nodes):
+            attrs = dict(other._g.nodes[node_id])
+            prov_type = attrs.pop("prov_type")
+            self._add_node(prefix + node_id, prov_type, **attrs)
+        for src, dst, data in sorted(other._g.edges(data=True),
+                                     key=lambda e: (e[0], e[1])):
+            self._g.add_edge(prefix + src, prefix + dst, kind=data["kind"])
+        for src, dst, kind in other._pending:
+            self._pending.append((prefix + src, dst, kind))
+        return self._stitch()
+
+    @classmethod
+    def merge_shards(cls, shards: "dict[str, ProvenanceGraph]", *,
+                     namespaced: bool = True) -> "ProvenanceGraph":
+        """One federation-wide graph from per-facility shards.
+
+        Shards merge in sorted-key order (determinism); with
+        ``namespaced=True`` each shard's ids live under its key.
+        """
+        merged = cls()
+        for name in sorted(shards):
+            merged.merge_from(shards[name],
+                              namespace=name if namespaced else None)
+        return merged
+
     # -- queries -----------------------------------------------------------------------
 
     def __contains__(self, node_id: str) -> bool:
@@ -91,6 +180,11 @@ class ProvenanceGraph:
 
     def __len__(self) -> int:
         return self._g.number_of_nodes()
+
+    @property
+    def edge_count(self) -> int:
+        """Number of recorded relations (pending stitches excluded)."""
+        return self._g.number_of_edges()
 
     def node_type(self, node_id: str) -> str:
         return self._g.nodes[node_id]["prov_type"]
@@ -158,10 +252,29 @@ class ProvenanceGraph:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-shaped export (PROV-JSON-like)."""
-        return {
+        out: dict[str, Any] = {
             "nodes": [{"id": n, **self._g.nodes[n]} for n in
                       sorted(self._g.nodes)],
             "edges": [{"src": u, "dst": v, "kind": d["kind"]}
                       for u, v, d in sorted(self._g.edges(data=True),
                                             key=lambda e: (e[0], e[1]))],
         }
+        if self._pending:
+            out["pending"] = [{"src": s, "dst": d, "kind": k}
+                              for s, d, k in self.pending_stitches]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ProvenanceGraph":
+        """Rebuild a graph from :meth:`to_dict` output (replay path)."""
+        graph = cls()
+        for node in data.get("nodes", ()):
+            attrs = dict(node)
+            node_id = attrs.pop("id")
+            prov_type = attrs.pop("prov_type")
+            graph._add_node(node_id, prov_type, **attrs)
+        for edge in data.get("edges", ()):
+            graph._g.add_edge(edge["src"], edge["dst"], kind=edge["kind"])
+        for edge in data.get("pending", ()):
+            graph._pending.append((edge["src"], edge["dst"], edge["kind"]))
+        return graph

@@ -20,10 +20,11 @@ Untraced runs pay ~nothing: the kernel hooks default to ``None`` and the
 orchestrator's default tracer is the no-op :data:`NULL_TRACER`.
 """
 
-from repro.obs.export import (load_jsonl, metrics_snapshot, to_jsonl,
-                              write_jsonl)
+from repro.obs.export import (TraceSpillWriter, load_jsonl, metrics_snapshot,
+                              to_jsonl, write_jsonl)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                StatsDict)
+from repro.obs.rollup import WindowedCounter
 from repro.obs.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
 
 __all__ = [
@@ -35,7 +36,9 @@ __all__ = [
     "NullTracer",
     "StatsDict",
     "TraceEvent",
+    "TraceSpillWriter",
     "Tracer",
+    "WindowedCounter",
     "load_jsonl",
     "metrics_snapshot",
     "to_jsonl",

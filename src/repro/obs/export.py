@@ -58,6 +58,47 @@ def load_jsonl(path: str) -> list[TraceEvent]:
     return out
 
 
+class TraceSpillWriter:
+    """Incremental JSONL spill: one event per line, written as emitted.
+
+    This is how a bounded :class:`~repro.obs.trace.Tracer` keeps a
+    *complete* record without unbounded memory — the ring holds the hot
+    tail for inspection while every event streams to disk the moment it
+    is emitted.  The file is opened lazily (a tracer configured with a
+    spill path but never used creates nothing) and the output format is
+    exactly :func:`to_jsonl`'s, so :func:`load_jsonl` reads it back and
+    "same seed, same bytes" holds for spilled traces too.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.events_written = 0
+        self._fh = None
+
+    def write(self, event: TraceEvent) -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "w", encoding="utf-8", newline="\n")
+        self._fh.write(json.dumps(_event_obj(event), **_JSON_KW))
+        self._fh.write("\n")
+        self.events_written += 1
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceSpillWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
 def metrics_snapshot(registry: "MetricsRegistry",
                      site: Optional[str] = None, *,
                      as_json: bool = False) -> "dict[str, Any] | str":

@@ -38,6 +38,10 @@ class Counter:
     def inc(self, amount: float = 1) -> None:
         self.value += amount
 
+    def merge_from(self, other: "Counter") -> None:
+        """Shard-merge: tallies add."""
+        self.value += other.value
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Counter {render_name(self.name, self.labels)}={self.value}>"
 
@@ -60,6 +64,11 @@ class Gauge:
 
     def dec(self, amount: float = 1) -> None:
         self.value -= amount
+
+    def merge_from(self, other: "Gauge") -> None:
+        """Shard-merge: gauges *sum* — per-shard queue depths, backlogs,
+        and ring sizes aggregate into the federation-wide quantity."""
+        self.value += other.value
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Gauge {render_name(self.name, self.labels)}={self.value}>"
@@ -135,6 +144,47 @@ class Histogram:
                 return min(max(est, self._min), self._max)
             cum += n
         return self._max
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Shard-merge: bucket-wise addition (a mergeable sketch).
+
+        Geometric buckets make the sketch closed under merge — two
+        shards' histograms with the same ``(lo, growth)`` combine
+        exactly, with the same bounded relative error as one histogram
+        observing both streams.
+        """
+        if (self.lo, self.growth) != (other.lo, other.growth):
+            raise ValueError(
+                f"cannot merge histograms with different bucket geometry: "
+                f"(lo={self.lo}, growth={self.growth}) vs "
+                f"(lo={other.lo}, growth={other.growth})")
+        for idx, n in other._counts.items():
+            self._counts[idx] = self._counts.get(idx, 0) + n
+        self.count += other.count
+        self.total += other.total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    def bucket_state(self) -> dict[str, Any]:
+        """Plain-data sketch state (picklable; see ``Registry.state``)."""
+        return {"lo": self.lo, "growth": self.growth,
+                "counts": {int(i): int(self._counts[i])
+                           for i in sorted(self._counts)},
+                "count": self.count, "total": self.total,
+                "min": self._min, "max": self._max}
+
+    def merge_bucket_state(self, state: dict[str, Any]) -> None:
+        """Merge a :meth:`bucket_state` dump (cross-process shard path)."""
+        if (self.lo, self.growth) != (state["lo"], state["growth"]):
+            raise ValueError(
+                "cannot merge histogram state with different geometry")
+        for idx, n in state["counts"].items():
+            idx = int(idx)
+            self._counts[idx] = self._counts.get(idx, 0) + int(n)
+        self.count += state["count"]
+        self.total += state["total"]
+        self._min = min(self._min, state["min"])
+        self._max = max(self._max, state["max"])
 
     def percentiles(self) -> dict[str, float]:
         """The p50/p95/p99 trio the milestone claims are stated in."""
@@ -281,3 +331,48 @@ class MetricsRegistry:
             "histograms": {n: h.summary()
                            for n, h in self._selected(self._histograms, site)},
         }
+
+    # -- shard merging -----------------------------------------------------
+
+    def state(self) -> dict[str, Any]:
+        """Lossless plain-data dump: picklable and mergeable.
+
+        Unlike :meth:`snapshot` (which summarizes histograms), ``state``
+        carries full bucket sketches, so a worker process can ship its
+        per-shard registry back and :meth:`merge_state` reassembles the
+        global view exactly — the one reporting path
+        :mod:`repro.scale` workers and :mod:`repro.service` tenants
+        share.
+        """
+        return {
+            "counters": [[name, [list(kv) for kv in labels], c.value]
+                         for (name, labels), c in
+                         sorted(self._counters.items())],
+            "gauges": [[name, [list(kv) for kv in labels], g.value]
+                       for (name, labels), g in sorted(self._gauges.items())],
+            "histograms": [[name, [list(kv) for kv in labels],
+                            h.bucket_state()]
+                           for (name, labels), h in
+                           sorted(self._histograms.items())],
+        }
+
+    def merge_state(self, state: dict[str, Any]) -> "MetricsRegistry":
+        """Merge a :meth:`state` dump into this registry (in place)."""
+        for name, labels, value in state.get("counters", ()):
+            self.counter(name, **dict(labels)).inc(value)
+        for name, labels, value in state.get("gauges", ()):
+            self.gauge(name, **dict(labels)).inc(value)
+        for name, labels, bucket_state in state.get("histograms", ()):
+            h = self.histogram(name, lo=bucket_state["lo"],
+                               growth=bucket_state["growth"], **dict(labels))
+            h.merge_bucket_state(bucket_state)
+        return self
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Merge another (per-shard) registry into this one, in place.
+
+        Counters and gauges add; histograms merge bucket-wise.  Metric
+        identity is ``(name, labels)``, so per-site labelled metrics
+        land side by side while unlabelled ones aggregate.
+        """
+        return self.merge_state(other.state())

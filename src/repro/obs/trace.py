@@ -14,10 +14,13 @@ checks.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.export import TraceSpillWriter
+    from repro.obs.metrics import MetricsRegistry
     from repro.sim.kernel import Simulator
 
 
@@ -90,12 +93,41 @@ class Tracer:
     run_id:
         Caller-chosen identifier embedded in exports (pass something
         seed-derived; wall-clock-derived ids would break determinism).
+    max_events:
+        ``None`` (default) keeps every event in memory — the historical
+        behaviour.  A positive value bounds ``events`` to a ring holding
+        the most recent ``max_events``: older events either stream to
+        ``spill`` or are dropped (counted, never silent).
+    spill:
+        Incremental sink for emitted events — a
+        :class:`~repro.obs.export.TraceSpillWriter`, a path string (a
+        writer is created lazily), or any object with a
+        ``write(event)`` method.  With a spill attached the full trace
+        survives on disk even when the in-memory ring truncates.
+    metrics:
+        Optional registry; ring evictions increment
+        ``obs.dropped_events`` (no spill) or ``obs.spilled_events``
+        (spill attached), so truncation is visible in every snapshot.
     """
 
-    def __init__(self, sim: "Simulator", run_id: str = "run") -> None:
+    def __init__(self, sim: "Simulator", run_id: str = "run", *,
+                 max_events: Optional[int] = None,
+                 spill: "TraceSpillWriter | str | None" = None,
+                 metrics: Optional["MetricsRegistry"] = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
         self.sim = sim
         self.run_id = run_id
-        self.events: list[TraceEvent] = []
+        if isinstance(spill, str):
+            from repro.obs.export import TraceSpillWriter
+            spill = TraceSpillWriter(spill)
+        self.spill = spill
+        self.max_events = max_events
+        self.events: "list[TraceEvent] | deque[TraceEvent]" = (
+            [] if max_events is None else deque())
+        self.dropped = 0
+        self.spilled = 0
+        self.metrics = metrics
         self._seq = 0
         self._next_span = 1
         self._stack: list[int] = []
@@ -115,6 +147,18 @@ class Tracer:
         ev = TraceEvent(seq=self._seq, t=self.sim.now, kind=kind, name=name,
                         span=span, parent=parent, attrs=attrs)
         self._seq += 1
+        if self.spill is not None:
+            self.spill.write(ev)
+            self.spilled += 1
+            if self.metrics is not None:
+                self.metrics.counter("obs.spilled_events").inc()
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.events.popleft()
+            if self.spill is None:
+                # The event is gone for good — count it, loudly.
+                self.dropped += 1
+                if self.metrics is not None:
+                    self.metrics.counter("obs.dropped_events").inc()
         self.events.append(ev)
         return ev
 
@@ -160,6 +204,22 @@ class Tracer:
         sim = sim or self.sim
         sim.step_hook = None
         sim.schedule_hook = None
+
+    # -- spill management --------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush (and leave open) the spill sink, if any."""
+        if self.spill is not None and hasattr(self.spill, "flush"):
+            self.spill.flush()
+
+    def close_spill(self) -> None:
+        """Flush and close the spill sink; the tracer stays usable in
+        memory (a later emit with a closed writer reopens nothing —
+        pass a fresh spill instead)."""
+        if self.spill is not None:
+            if hasattr(self.spill, "close"):
+                self.spill.close()
+            self.spill = None
 
     # -- replay helpers ----------------------------------------------------
 
@@ -209,10 +269,18 @@ class NullTracer:
     __slots__ = ()
 
     events: list[TraceEvent] = []
+    dropped: int = 0
+    spilled: int = 0
 
     @property
     def enabled(self) -> bool:
         return False
+
+    def flush(self) -> None:
+        return None
+
+    def close_spill(self) -> None:
+        return None
 
     @property
     def current_span(self) -> Optional[int]:

@@ -203,3 +203,58 @@ def legacy_route_scan(bindings: "list[tuple[str, str]]",
             matched.append(qname)
             seen.add(qname)
     return tuple(matched)
+
+
+# -- data mesh -------------------------------------------------------------
+
+
+def _legacy_field_value(entry: dict, key: str):
+    value = entry
+    for part in key.split("."):
+        value = value.get(part) if isinstance(value, dict) else None
+        if value is None:
+            break
+    return value
+
+
+class LegacyDiscoveryIndex:
+    """Pre-shard discovery index: a flat dict scanned on every query.
+
+    Verbatim snapshot of ``repro.data.mesh.DiscoveryIndex`` as it stood
+    before the inverted secondary indexes and facility sharding: every
+    ``query`` — even a pure ``record_id=`` lookup — walks every entry in
+    sorted order and applies the filters one by one.  Its O(total
+    records) cost per query is the baseline the ``mesh_governance``
+    workload measures the sharded index against.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, dict] = {}
+        self.stats = {"publishes": 0, "queries": 0}
+
+    def publish(self, entry: dict) -> None:
+        self._entries[entry["record_id"]] = entry
+        self.stats["publishes"] += 1
+
+    def remove(self, record_id: str) -> None:
+        self._entries.pop(record_id, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._entries
+
+    def query(self, predicate=None, **equals) -> "list[dict]":
+        self.stats["queries"] += 1
+        out = []
+        for record_id in sorted(self._entries):
+            entry = self._entries[record_id]
+            ok = True
+            for key, want in equals.items():
+                if _legacy_field_value(entry, key) != want:
+                    ok = False
+                    break
+            if ok and (predicate is None or predicate(entry)):
+                out.append(entry)
+        return out

@@ -506,6 +506,151 @@ def service_multitenant(clock: Clock, *, quick: bool = False,
     }
 
 
+#: Records/second the sharded mesh must sustain (the roadmap's
+#: 1000-facility ingest floor).  The headroom gate is capped (see
+#: :func:`mesh_governance`) so it is stable run-to-run while still
+#: collapsing below 1.0 if ingest ever drops under the floor.
+_MESH_INGEST_FLOOR_RPS = 500.0
+_MESH_HEADROOM_CAP = 10.0
+
+
+def _mesh_corpus(seed: int, n_facilities: int, records_per: int):
+    """Seeded index entries + governance query stream (shared by arms)."""
+    rng = np.random.default_rng(seed)
+    techniques = ("powder-xrd", "uv-vis", "saxs", "xps", "raman", "nmr")
+    entries = []
+    for i in range(n_facilities):
+        site = f"site-{i}"
+        institution = f"inst-{i % 40}"
+        for r in range(records_per):
+            entries.append({
+                "record_id": f"rec-{i:04d}-{r:03d}",
+                "schema_id": "synthesis@1",
+                "site": site,
+                "institution": institution,
+                "source": f"instrument-{i % 7}",
+                "sensitivity": "open",
+                "keys": ["plqy", "yield_pct"],
+                "metadata": {
+                    "technique": techniques[int(rng.integers(6))]},
+            })
+    queries: list[dict] = []
+    for q in range(240):
+        shape = rng.random()
+        if shape < 0.4:   # governance sweep: one technique, all shards
+            queries.append({"metadata.technique":
+                            techniques[int(rng.integers(6))]})
+        elif shape < 0.7:  # institutional audit
+            queries.append({"institution":
+                            f"inst-{int(rng.integers(40))}"})
+        elif shape < 0.9:  # facility-local listing (routes to one shard)
+            queries.append({"site":
+                            f"site-{int(rng.integers(n_facilities))}"})
+        else:              # primary-key fetch
+            pick = entries[int(rng.integers(len(entries)))]
+            queries.append({"record_id": pick["record_id"]})
+    return entries, queries
+
+
+def mesh_governance(clock: Clock, *, quick: bool = False,
+                    seed: int = 0) -> dict:
+    """1000-facility sharded mesh vs the frozen flat-scan index.
+
+    Both arms publish the same 5000 seeded index entries and answer the
+    same 240-query governance stream (technique sweeps, institutional
+    audits, facility listings, primary-key fetches): **legacy** is the
+    pre-shard :class:`~repro.perf.legacy.LegacyDiscoveryIndex`, which
+    scans every entry on every query; **fast** is the 32-shard
+    :class:`~repro.data.shard.ShardedDiscoveryIndex`, which routes by
+    facility and intersects inverted postings.  The two result-id
+    sequences are hash-compared — a speedup that changed what governance
+    sees would be a bug, not a win.
+
+    Gates: ``query_speedup`` is the same-run legacy/fast ratio;
+    ``ingest_headroom`` is fast-arm records-per-second over the 500/s
+    floor, capped at 10.0 so the committed baseline stays stable on any
+    machine with real headroom while still collapsing on a machine (or
+    regression) that cannot hold the floor.
+
+    The fast arm also re-ingests the corpus through a *bounded* tracer
+    (untimed): the ring holds 256 of the 5000 ingest events and the
+    overflow lands in ``obs.dropped_events`` — exported here so the
+    memory-bound contract is visible in every perf report.
+    """
+    del quick  # canonical size always: gates must match the baseline's
+    from repro.data.shard import ShardedDiscoveryIndex
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+    from repro.perf.legacy import LegacyDiscoveryIndex
+
+    n_facilities, records_per, n_shards = 1000, 5, 32
+    entries, queries = _mesh_corpus(seed, n_facilities, records_per)
+
+    legacy = LegacyDiscoveryIndex()
+    t0 = clock()
+    for entry in entries:
+        legacy.publish(entry)
+    legacy_pub_s = clock() - t0
+    t0 = clock()
+    legacy_results = [[e["record_id"] for e in legacy.query(**q)]
+                      for q in queries]
+    legacy_q_s = clock() - t0
+
+    sharded = ShardedDiscoveryIndex(n_shards)
+    t0 = clock()
+    for entry in entries:
+        sharded.publish(entry)
+    fast_pub_s = clock() - t0
+    t0 = clock()
+    fast_results = [[e["record_id"] for e in sharded.query(**q)]
+                    for q in queries]
+    fast_q_s = clock() - t0
+
+    legacy_digest = decision_hash(legacy_results)
+    fast_digest = decision_hash(fast_results)
+    if legacy_digest != fast_digest:  # pragma: no cover - correctness gate
+        raise RuntimeError(
+            "sharded index results diverged from the flat scan "
+            f"({fast_digest[:12]} != {legacy_digest[:12]})")
+
+    # Bounded-obs witness (untimed): every ingest emits a trace instant
+    # through a 256-event ring with no spill, so all but the hot tail
+    # land in obs.dropped_events.
+    registry = MetricsRegistry()
+    tracer = Tracer(Simulator(), run_id=f"mesh-governance-{seed}",
+                    max_events=256, metrics=registry)
+    for entry in entries:
+        tracer.instant("ingest", record=entry["record_id"])
+    dropped = registry.counter("obs.dropped_events").value
+
+    records_per_second = len(entries) / fast_pub_s
+    return {
+        "metrics": {
+            "facilities": n_facilities,
+            "records": len(entries),
+            "shards": n_shards,
+            "queries": len(queries),
+            "legacy_publish_seconds": legacy_pub_s,
+            "fast_publish_seconds": fast_pub_s,
+            "legacy_query_seconds": legacy_q_s,
+            "fast_query_seconds": fast_q_s,
+            "records_per_second": records_per_second,
+            "legacy_queries_per_second": len(queries) / legacy_q_s,
+            "fast_queries_per_second": len(queries) / fast_q_s,
+            "max_shard_entries": float(max(sharded.shard_sizes())),
+            "trace_ring_retained": float(len(tracer.events)),
+            "obs_dropped_events": float(dropped),
+            "hash_equal": 1.0,
+        },
+        "gates": {
+            "query_speedup": legacy_q_s / fast_q_s,
+            "ingest_headroom": min(
+                records_per_second / _MESH_INGEST_FLOOR_RPS,
+                _MESH_HEADROOM_CAP),
+        },
+    }
+
+
 #: name -> workload, in report order.  Built once at import; never
 #: mutated at runtime (detlint D001 contract).
 WORKLOADS: dict[str, Callable[..., dict]] = {
@@ -516,4 +661,5 @@ WORKLOADS: dict[str, Callable[..., dict]] = {
     "bus_routing_indexed": bus_routing_indexed,
     "parallel_worlds": parallel_worlds,
     "service_multitenant": service_multitenant,
+    "mesh_governance": mesh_governance,
 }

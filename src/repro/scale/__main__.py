@@ -10,6 +10,14 @@ runs were equivalent.  That is exactly what the CI
     REPRO_WORKERS=1 python -m repro.scale --seeds 0,1,2,3 --json h1.json
     REPRO_WORKERS=4 python -m repro.scale --seeds 0,1,2,3 --json h4.json
     diff h1.json h4.json
+
+Time-travel replay rides the same manifest idea: ``--record DIR`` runs
+the sweep while archiving trace/provenance shards plus decision hashes
+(:mod:`repro.data.replay`), and ``--replay DIR`` re-drives the archived
+worlds and fails loudly unless every hash matches byte-for-byte::
+
+    python -m repro.scale --world mesh --seeds 0,1 --record campaign/
+    python -m repro.scale --replay campaign/
 """
 
 from __future__ import annotations
@@ -39,7 +47,18 @@ def main(argv=None) -> int:
                         help="replay serially and assert hash equality")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the hash manifest here")
+    parser.add_argument("--record", default=None, metavar="DIR",
+                        help="archive trace/provenance shards and decision "
+                             "hashes to DIR for later --replay")
+    parser.add_argument("--replay", default=None, metavar="DIR",
+                        help="re-drive the campaign archived at DIR and "
+                             "verify decision hashes (exit 1 on mismatch)")
     args = parser.parse_args(argv)
+
+    if args.replay is not None:
+        if args.record is not None:
+            parser.error("--record and --replay are mutually exclusive")
+        return _replay(args.replay, workers=args.workers)
 
     try:
         seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
@@ -49,6 +68,16 @@ def main(argv=None) -> int:
     if not seeds:
         parser.error("need at least one seed")
     config = {} if args.budget is None else {"budget": args.budget}
+
+    if args.record is not None:
+        from repro.data.replay import record_campaign
+        manifest = record_campaign(args.world, seeds, config, args.record,
+                                   workers=args.workers)
+        print(f"world={args.world} recorded -> {args.record}")
+        for seed in seeds:
+            print(f"  seed {seed:>4}  {manifest['hashes'][str(seed)]}")
+        print(f"combined: {manifest['combined']}")
+        return 0
 
     runner = WorldRunner(args.workers, verify=args.verify)
     specs = [WorldSpec(seed=s, entrypoint=WORLD_KINDS[args.world],
@@ -73,6 +102,26 @@ def main(argv=None) -> int:
             json.dump(manifest, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.json}")
+    return 0
+
+
+def _replay(root: str, workers=None) -> int:
+    from repro.data.replay import CampaignArchive, replay_campaign
+    report = replay_campaign(root, workers=workers)
+    timeline = CampaignArchive(root).timeline()
+    print(f"world={report['world']} replayed from {root} "
+          f"({len(timeline)} archived trace events)")
+    mismatched = {m["seed"] for m in report["mismatches"]}
+    for seed in report["seeds"]:
+        status = "MISMATCH" if seed in mismatched else "ok"
+        print(f"  seed {seed:>4}  {status}")
+    if not report["ok"]:
+        for m in report["mismatches"]:
+            print(f"  seed {m['seed']}: recorded {m['recorded'][:16]} "
+                  f"!= replayed {m['replayed'][:16]}")
+        print("REPLAY FAILED")
+        return 1
+    print(f"combined: {report['combined_replayed']} (matches recording)")
     return 0
 
 

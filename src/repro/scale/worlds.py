@@ -26,7 +26,8 @@ from repro.labsci.quantum_dots import QuantumDotLandscape
 from repro.methods.bayesopt import BayesianOptimizer
 from repro.testbed import Testbed
 
-__all__ = ["bo_world", "testbed_world", "service_world", "WORLD_KINDS"]
+__all__ = ["bo_world", "mesh_world", "testbed_world", "service_world",
+           "WORLD_KINDS"]
 
 
 def bo_world(seed: int, config: dict) -> dict:
@@ -117,6 +118,166 @@ def service_world(seed: int, config: dict) -> dict:
             "decisions": service.decision_log()}
 
 
+def mesh_world(seed: int, config: dict) -> dict:
+    """Facility-sharded data mesh under a governance workload.
+
+    N facilities ingest records into a
+    :class:`~repro.data.shard.ShardedDiscoveryIndex`-backed federation,
+    link cross-shard provenance, then run discovery queries and
+    cross-site fetches.  The returned decision rows pin every query's
+    result count, so the hash witnesses shard routing, inverted-index
+    correctness, *and* replication-lag timing.
+
+    Observability is bounded by construction: the tracer ring holds
+    ``max_trace_events`` and the ingest rollup is a fixed window ring.
+    Two side-channel config keys are deliberately **excluded** from the
+    returned (hashed) value so recorded and replayed runs digest
+    identically: ``trace_spill`` (path for the incremental JSONL trace
+    spill) and ``provenance_out`` (path for the merged provenance dump).
+    """
+    from repro.data.fair import FairGovernor
+    from repro.data.mesh import FederatedDataMesh
+    from repro.data.provenance import qualified
+    from repro.data.record import DataRecord
+    from repro.data.shard import ShardedDiscoveryIndex
+    from repro.net.topology import Topology
+    from repro.net.transport import Network
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.rollup import WindowedCounter
+    from repro.obs.trace import Tracer
+    from repro.sim.kernel import Simulator
+    from repro.sim.rng import RngRegistry
+
+    n_facilities = int(config.get("n_facilities", 12))
+    n_shards = int(config.get("n_shards", 4))
+    records_per = int(config.get("records_per_facility", 3))
+    queries = int(config.get("queries", n_facilities))
+    fetches = int(config.get("fetches", min(n_facilities, 6)))
+    max_trace_events = int(config.get("max_trace_events", 512))
+    index_latency_s = float(config.get("index_latency_s", 0.5))
+    govern = bool(config.get("govern", True))
+
+    sim = Simulator()
+    rngs = RngRegistry(seed=int(seed))
+    rng = rngs.stream("mesh")
+    topo = Topology.national_lab_testbed(n_facilities)
+    net = Network(sim, topo, rngs.stream("net"))
+    metrics = MetricsRegistry()
+    tracer = Tracer(sim, run_id=f"mesh-{seed}",
+                    max_events=max_trace_events,
+                    spill=config.get("trace_spill"), metrics=metrics)
+    index = ShardedDiscoveryIndex(n_shards)
+    mesh = FederatedDataMesh(sim, net, index=index, index_site="site-0")
+    for i in range(n_facilities):
+        mesh.make_node(f"site-{i}", f"Lab {i}",
+                       governor=FairGovernor() if govern else None,
+                       index_latency_s=index_latency_s)
+
+    techniques = ("powder-xrd", "uv-vis", "saxs", "xps", "raman", "nmr")
+    ingest_rate = WindowedCounter(window_s=60.0, n_windows=32)
+    produced: list[list[str]] = [[] for _ in range(n_facilities)]
+    decisions: list[list[float]] = []
+    fetched_bytes = [0.0]
+
+    def campaign():
+        with tracer.span("mesh-campaign", seed=int(seed)):
+            with tracer.span("ingest"):
+                for round_no in range(records_per):
+                    for i in range(n_facilities):
+                        site = f"site-{i}"
+                        node = mesh.nodes[site]
+                        tech = techniques[int(rng.integers(len(techniques)))]
+                        rec = DataRecord(
+                            source=f"instrument-{i}",
+                            values={"plqy": float(rng.random()),
+                                    "yield_pct": float(100 * rng.random())},
+                            metadata={"technique": tech}, time=sim.now)
+                        node.provenance.entity(rec.record_id)
+                        act = node.provenance.activity(
+                            f"syn-{rec.record_id}", started=sim.now,
+                            ended=sim.now + 30.0)
+                        node.provenance.was_generated_by(rec.record_id, act)
+                        agent = node.provenance.agent(f"planner-{site}")
+                        node.provenance.was_associated_with(act, agent)
+                        # Every non-first record derives from the previous
+                        # round's record at the ring neighbour — a foreign
+                        # shard, referenced by fully-qualified id.
+                        j = (i + 1) % n_facilities
+                        if produced[j]:
+                            node.provenance.was_derived_from(
+                                rec.record_id,
+                                qualified(f"site-{j}", produced[j][-1]),
+                                cross_shard=True)
+                        node.ingest(rec)
+                        produced[i].append(rec.record_id)
+                        ingest_rate.inc(sim.now)
+                        tracer.instant("ingest", site=site,
+                                       record=rec.record_id, technique=tech)
+                    yield sim.timeout(1.0)
+                # Let index replication drain before governance queries.
+                yield sim.timeout(index_latency_s)
+            with tracer.span("discover"):
+                for q in range(queries):
+                    from_idx = q % n_facilities
+                    tech_idx = q % len(techniques)
+                    entries = yield from mesh.discover(
+                        f"site-{from_idx}",
+                        **{"metadata.technique": techniques[tech_idx]})
+                    decisions.append([float(q), float(from_idx),
+                                      float(tech_idx), float(len(entries))])
+                    tracer.instant("discover", site=f"site-{from_idx}",
+                                   technique=techniques[tech_idx],
+                                   results=len(entries))
+            with tracer.span("fetch"):
+                for f in range(fetches):
+                    src = (f * 2 + 1) % n_facilities
+                    if not produced[src]:
+                        continue
+                    record = yield from mesh.fetch(
+                        produced[src][f % len(produced[src])],
+                        to_site=f"site-{f % n_facilities}")
+                    fetched_bytes[0] += record.size_bytes()
+                    tracer.instant("fetch", record=record.record_id)
+
+    sim.process(campaign())
+    sim.run()
+
+    merged = mesh.merged_provenance(namespaced=True)
+    sampled = [qualified(f"site-{i}", produced[i][0])
+               for i in range(n_facilities) if produced[i]]
+    completeness = (sum(merged.completeness(e) for e in sampled)
+                    / len(sampled)) if sampled else 0.0
+
+    if config.get("provenance_out"):
+        import json
+        with open(str(config["provenance_out"]), "w",
+                  encoding="utf-8", newline="\n") as fh:
+            json.dump(merged.to_dict(), fh, sort_keys=True,
+                      separators=(",", ":"))
+            fh.write("\n")
+    tracer.close_spill()
+
+    return {
+        "seed": int(seed),
+        "n_facilities": n_facilities,
+        "n_shards": n_shards,
+        "records": int(sum(len(p) for p in produced)),
+        "decisions": np.asarray(decisions, dtype=float),
+        "fetched_bytes": float(fetched_bytes[0]),
+        "index": {k: int(v) for k, v in sorted(index.stats.items())},
+        "shard_sizes": index.shard_sizes(),
+        "provenance": {"nodes": len(merged),
+                       "edges": merged.edge_count,
+                       "pending": len(merged.pending_stitches),
+                       "completeness": float(completeness)},
+        "rollup": {"total": ingest_rate.total, "rate": ingest_rate.rate()},
+        # Spill-invariant trace accounting: emitted and retained counts
+        # are identical with or without a spill sink attached.
+        "trace": {"events": tracer._seq,
+                  "retained": len(tracer.events)},
+    }
+
+
 #: name -> entrypoint, for the CLI and config-driven sweeps.
-WORLD_KINDS = {"bo": bo_world, "service": service_world,
+WORLD_KINDS = {"bo": bo_world, "mesh": mesh_world, "service": service_world,
                "testbed": testbed_world}

@@ -172,9 +172,10 @@ class SiteBuilder:
         self._testbed.secure(enabled)
         return self
 
-    def with_mesh(self, enabled: bool = True) -> "SiteBuilder":
+    def with_mesh(self, enabled: bool = True, *,
+                  shards: Optional[int] = None) -> "SiteBuilder":
         """Testbed-level: see :meth:`Testbed.with_mesh`."""
-        self._testbed.with_mesh(enabled)
+        self._testbed.with_mesh(enabled, shards=shards)
         return self
 
     def with_knowledge(self, policy: str = "corrected") -> "SiteBuilder":
@@ -230,6 +231,7 @@ class Testbed:
         self._wan_latency_s = wan_latency_s
         self._secure = False
         self._with_mesh = False
+        self._mesh_shards: Optional[int] = None
         self._knowledge_policy: Optional[str] = None
         self._metrics: Optional[MetricsRegistry] = None
         self._tracer: Optional[Tracer] = None
@@ -242,9 +244,16 @@ class Testbed:
         self._secure = enabled
         return self
 
-    def with_mesh(self, enabled: bool = True) -> "Testbed":
-        """Attach a federated data-mesh node to every lab."""
+    def with_mesh(self, enabled: bool = True, *,
+                  shards: Optional[int] = None) -> "Testbed":
+        """Attach a federated data-mesh node to every lab.
+
+        ``shards`` backs the discovery index with a facility-sharded
+        :class:`~repro.data.shard.ShardedDiscoveryIndex` of that many
+        shards instead of the flat default.
+        """
         self._with_mesh = enabled
+        self._mesh_shards = shards if enabled else None
         return self
 
     def with_knowledge(self, policy: str = "corrected") -> "Testbed":
@@ -300,7 +309,8 @@ class Testbed:
         fed = FederationManager(
             seed=self._seed, n_sites=n_sites,
             objective_key=self._objective_key, secure=self._secure,
-            with_mesh=self._with_mesh, wan_latency_s=self._wan_latency_s,
+            with_mesh=self._with_mesh, mesh_shards=self._mesh_shards,
+            wan_latency_s=self._wan_latency_s,
             metrics=self._metrics, sim=self._sim,
             tracer=None if tracer is _DEFERRED_TRACER else tracer)
         if tracer is _DEFERRED_TRACER:

@@ -233,3 +233,86 @@ def test_unknown_home_site(sim, stores):
 
     sim.process(proc())
     sim.run()
+
+
+# -- PR 7 satellites: index routing stats + explicit index hosting ----------
+
+
+def test_explicit_index_site_constructor(sim, testbed_network):
+    mesh = FederatedDataMesh(sim, testbed_network, index_site="site-2")
+    for i in range(3):
+        mesh.make_node(f"site-{i}", institution=f"inst-{i}")
+    assert mesh.index_site == "site-2"  # not overwritten by add_node
+
+
+def test_default_index_site_is_first_registered_node(mesh):
+    assert mesh.index_site == "site-0"
+
+
+def test_pure_record_id_query_is_an_index_hit(mesh, sim):
+    r = mesh.nodes["site-0"].ingest(rec())
+    sim.run(until=1.0)
+    before = dict(mesh.index.stats)
+    [entry] = mesh.index.query(record_id=r.record_id)
+    assert entry["record_id"] == r.record_id
+    assert mesh.index.stats["index_hits"] == before["index_hits"] + 1
+    assert mesh.index.stats["index_misses"] == before["index_misses"]
+
+
+def test_fetch_counts_index_hit(mesh, sim):
+    r = mesh.nodes["site-1"].ingest(rec())
+    sim.run(until=1.0)
+    before = mesh.index.stats["index_hits"]
+    fetched = run(sim, mesh.fetch(r.record_id, to_site="site-0"))
+    assert fetched.record_id == r.record_id
+    assert mesh.index.stats["index_hits"] == before + 1
+
+
+def test_fetch_fallback_counts_index_miss(mesh, sim):
+    r = mesh.nodes["site-1"].ingest(rec())
+    # No sim.run: index replication has not happened yet.
+    before = mesh.index.stats["index_misses"]
+    fetched = run(sim, mesh.fetch(r.record_id, to_site="site-0"))
+    assert fetched.record_id == r.record_id
+    assert mesh.index.stats["index_misses"] == before + 1
+
+
+def test_mesh_accepts_sharded_index(sim, testbed_network):
+    from repro.data import ShardedDiscoveryIndex
+    mesh = FederatedDataMesh(sim, testbed_network,
+                             index=ShardedDiscoveryIndex(n_shards=2))
+    for i in range(3):
+        mesh.make_node(f"site-{i}", institution=f"inst-{i}")
+    r = mesh.nodes["site-1"].ingest(rec(metadata={"technique": "saxs"}))
+    sim.run(until=1.0)
+    entries = run(sim, mesh.discover("site-0",
+                                     **{"metadata.technique": "saxs"}))
+    assert [e["record_id"] for e in entries] == [r.record_id]
+    fetched = run(sim, mesh.fetch(r.record_id, to_site="site-2"))
+    assert fetched.record_id == r.record_id
+
+
+def test_failed_normalize_never_schedules_publish(mesh, sim):
+    from repro.data.schema import SchemaError
+    node = mesh.nodes["site-0"]
+    bad = rec(values={"unmappable": 1.0})
+    with pytest.raises(SchemaError):
+        node.normalize_and_ingest(bad, "ghost-schema")
+    sim.run()
+    assert len(mesh.index) == 0
+    assert node.stats["ingested"] == 0
+
+
+def test_merged_provenance_namespaces_by_site(mesh, sim):
+    from repro.data.provenance import qualified
+    r0 = mesh.nodes["site-0"].ingest(rec())
+    mesh.nodes["site-0"].provenance.entity(r0.record_id)
+    r1 = mesh.nodes["site-1"].ingest(rec())
+    mesh.nodes["site-1"].provenance.entity(r1.record_id)
+    mesh.nodes["site-1"].provenance.was_derived_from(
+        r1.record_id, qualified("site-0", r0.record_id), cross_shard=True)
+    merged = mesh.merged_provenance(namespaced=True)
+    assert qualified("site-0", r0.record_id) in merged
+    assert merged.pending_stitches == []
+    assert qualified("site-0", r0.record_id) in merged.lineage(
+        qualified("site-1", r1.record_id))

@@ -95,3 +95,125 @@ def test_export_to_dict(campaign_graph):
     assert "used" in kinds
     ids = [n["id"] for n in d["nodes"]]
     assert ids == sorted(ids)  # deterministic export order
+
+
+# -- completeness edge cases (satellite coverage) ---------------------------
+
+
+def test_completeness_no_generating_activity():
+    g = ProvenanceGraph()
+    g.entity("a")
+    g.entity("b")
+    g.was_derived_from("a", "b")  # derivation alone: no generating activity
+    assert g.completeness("a") == 0.0
+
+
+def test_completeness_derived_from_only_inputs_count():
+    # Inputs recorded solely via wasDerivedFrom on the entity (no `used`
+    # edge on the activity) must still earn the inputs quarter-point.
+    g = ProvenanceGraph()
+    g.entity("parent")
+    g.entity("child")
+    g.activity("make", started=1.0, ended=2.0)
+    g.was_generated_by("child", "make")
+    g.was_derived_from("child", "parent")
+    assert g.completeness("child") == 0.75  # all but the agent check
+
+
+def test_completeness_zero_ended_timestamp_not_credited():
+    g = ProvenanceGraph()
+    g.agent("robot")
+    g.entity("in")
+    g.entity("out")
+    g.activity("act", started=5.0, ended=0.0)  # never closed
+    g.was_generated_by("out", "act")
+    g.was_associated_with("act", "robot")
+    g.used("act", "in")
+    assert g.completeness("out") == 0.75  # timestamp quarter withheld
+
+
+# -- shard merge + cross-shard stitching ------------------------------------
+
+
+def _shard(site, rec, parent=None):
+    from repro.data.provenance import qualified
+    g = ProvenanceGraph()
+    g.entity(rec)
+    g.activity(f"make-{rec}", started=0.0, ended=1.0)
+    g.was_generated_by(rec, f"make-{rec}")
+    if parent is not None:
+        g.was_derived_from(rec, qualified(parent[0], parent[1]),
+                           cross_shard=True)
+    return g
+
+
+def test_cross_shard_pending_until_merge():
+    g = _shard("site-b", "rec-b", parent=("site-a", "rec-a"))
+    assert g.pending_stitches == [("rec-b", "site-a::rec-a",
+                                   "wasDerivedFrom")]
+    assert g.edge_count == 1  # only the local wasGeneratedBy
+
+
+def test_cross_shard_requires_local_entity():
+    g = ProvenanceGraph()
+    with pytest.raises(KeyError):
+        g.was_derived_from("ghost", "site-a::rec-a", cross_shard=True)
+
+
+def test_merge_shards_stitches_cross_references():
+    a = _shard("site-a", "rec-a")
+    b = _shard("site-b", "rec-b", parent=("site-a", "rec-a"))
+    merged = ProvenanceGraph.merge_shards({"site-a": a, "site-b": b})
+    assert merged.pending_stitches == []
+    assert "site-a::rec-a" in merged
+    assert "site-b::rec-b" in merged
+    assert "site-a::rec-a" in merged.lineage("site-b::rec-b")
+
+
+def test_merge_order_is_irrelevant_for_stitching():
+    # The derived shard merging before its parent must still stitch once
+    # the parent arrives.
+    a = _shard("site-a", "rec-a")
+    b = _shard("site-b", "rec-b", parent=("site-a", "rec-a"))
+    merged = ProvenanceGraph()
+    merged.merge_from(b, namespace="site-b")
+    assert len(merged.pending_stitches) == 1
+    stitched = merged.merge_from(a, namespace="site-a")
+    assert stitched == 1
+    assert merged.pending_stitches == []
+
+
+def test_merge_without_namespace_keeps_ids():
+    a = ProvenanceGraph()
+    a.entity("rec-1")
+    merged = ProvenanceGraph()
+    merged.merge_from(a)
+    assert "rec-1" in merged
+
+
+def test_merge_type_collision_rejected():
+    a = ProvenanceGraph()
+    a.entity("x")
+    b = ProvenanceGraph()
+    b.agent("x")
+    merged = ProvenanceGraph()
+    merged.merge_from(a, namespace="s")
+    with pytest.raises(ValueError):
+        merged.merge_from(b, namespace="s")
+
+
+def test_to_dict_carries_pending_and_from_dict_roundtrips():
+    b = _shard("site-b", "rec-b", parent=("site-a", "rec-a"))
+    d = b.to_dict()
+    assert d["pending"] == [{"src": "rec-b", "dst": "site-a::rec-a",
+                             "kind": "wasDerivedFrom"}]
+    rebuilt = ProvenanceGraph.from_dict(d)
+    assert rebuilt.to_dict() == d
+    assert rebuilt.pending_stitches == b.pending_stitches
+
+
+def test_from_dict_roundtrip_full_graph(campaign_graph):
+    d = campaign_graph.to_dict()
+    rebuilt = ProvenanceGraph.from_dict(d)
+    assert rebuilt.to_dict() == d
+    assert rebuilt.completeness("rec-1") == 1.0

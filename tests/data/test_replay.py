@@ -1,0 +1,113 @@
+"""Tests for time-travel campaign replay (record -> archive -> re-drive)."""
+
+import json
+
+import pytest
+
+from repro.data import (CampaignArchive, ReplayTimeline, record_campaign,
+                        replay_campaign)
+from repro.data.replay import ARCHIVE_VERSION, ReplayMismatch
+
+CONFIG = {"n_facilities": 4, "n_shards": 2, "records_per_facility": 2,
+          "max_trace_events": 64}
+SEEDS = [0, 1]
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    root = str(tmp_path_factory.mktemp("campaign"))
+    manifest = record_campaign("mesh", SEEDS, CONFIG, root, workers=1)
+    return CampaignArchive(root), manifest
+
+
+def test_record_writes_manifest_and_shards(archive):
+    arc, manifest = archive
+    assert arc.exists()
+    assert manifest["version"] == ARCHIVE_VERSION
+    assert manifest["world"] == "mesh"
+    assert arc.seeds == SEEDS
+    for seed in SEEDS:
+        assert manifest["shards"][str(seed)]["trace"] == f"trace-{seed}.jsonl"
+        assert (manifest["shards"][str(seed)]["provenance"]
+                == f"provenance-{seed}.json")
+        assert arc.trace_events(seed)
+    # Spill keys are side-channels, not part of the recorded config.
+    assert "trace_spill" not in manifest["config"]
+    assert "provenance_out" not in manifest["config"]
+
+
+def test_provenance_shard_loads(archive):
+    arc, _ = archive
+    graph = arc.provenance(0)
+    assert graph is not None
+    assert len(graph) > 0
+    assert graph.pending_stitches == []  # merged graph is fully stitched
+    assert arc.provenance(999) is None
+    assert arc.trace_events(999) == []
+
+
+def test_timeline_reconstruction(archive):
+    arc, _ = archive
+    tl = arc.timeline()
+    assert len(tl) == sum(len(arc.trace_events(s)) for s in SEEDS)
+    times = [t for t, _, _ in tl]
+    assert times == sorted(times)
+    assert tl.span_s >= 0.0
+    counts = tl.counts()
+    assert sum(counts.values()) == len(tl)
+    assert "ingest" in counts and "discover" in counts
+    one_seed = arc.timeline(seeds=[0])
+    assert len(one_seed) == len(arc.trace_events(0))
+
+
+def test_timeline_between_and_named(archive):
+    arc, _ = archive
+    tl = arc.timeline()
+    t0 = tl.entries[0][0]
+    early = tl.between(t0, t0 + 2.0)
+    assert 0 < len(early) <= len(tl)
+    assert all(t0 <= t < t0 + 2.0 for t, _, _ in early)
+    name = tl.entries[0][2].name
+    assert all(ev.name == name for _, _, ev in tl.named(name))
+
+
+def test_timeline_order_is_total():
+    ev = [dict(seq=i, t=5.0, name="x", kind="instant") for i in range(3)]
+    from repro.obs.trace import TraceEvent
+    shards = {"seed-1": [TraceEvent(**ev[2]), TraceEvent(**ev[0])],
+              "seed-0": [TraceEvent(**ev[1])]}
+    tl = ReplayTimeline.from_shards(shards)
+    keys = [(t, shard, e.seq) for t, shard, e in tl]
+    assert keys == sorted(keys)
+
+
+def test_replay_reproduces_hashes(archive):
+    arc, manifest = archive
+    report = replay_campaign(arc.root, workers=1)
+    assert report["ok"]
+    assert report["mismatches"] == []
+    assert report["combined_replayed"] == manifest["combined"]
+
+
+def test_tampered_manifest_is_detected(archive, tmp_path):
+    arc, manifest = archive
+    tampered = json.loads(json.dumps(manifest))
+    tampered["hashes"]["0"] = "0" * 64
+    CampaignArchive(str(tmp_path)).write_manifest(tampered)
+    report = replay_campaign(str(tmp_path), workers=1)
+    assert not report["ok"]
+    assert [m["seed"] for m in report["mismatches"]] == [0]
+    with pytest.raises(ReplayMismatch):
+        replay_campaign(str(tmp_path), workers=1, strict=True)
+
+
+def test_unsupported_archive_version_rejected(tmp_path):
+    arc = CampaignArchive(str(tmp_path))
+    arc.write_manifest({"version": 999, "seeds": []})
+    with pytest.raises(ValueError):
+        arc.load_manifest()
+
+
+def test_unknown_world_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        record_campaign("no-such-world", [0], {}, str(tmp_path))

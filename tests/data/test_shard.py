@@ -1,0 +1,138 @@
+"""Tests for the facility-sharded discovery index."""
+
+import pytest
+
+from repro.data import DiscoveryIndex, ShardedDiscoveryIndex, shard_for
+from repro.data.shard import ShardedDiscoveryIndex as _Direct
+
+
+def entry(i, site, technique="powder-xrd", institution="inst-0"):
+    return {"record_id": f"rec-{i:04d}", "schema_id": "synthesis@1",
+            "site": site, "institution": institution, "source": "spec-1",
+            "sensitivity": "open",
+            "metadata": {"technique": technique}}
+
+
+@pytest.fixture
+def sharded():
+    idx = ShardedDiscoveryIndex(n_shards=4)
+    for i in range(20):
+        idx.publish(entry(i, f"site-{i % 5}",
+                          technique=("powder-xrd" if i % 2 else "uv-vis"),
+                          institution=f"inst-{i % 3}"))
+    return idx
+
+
+def test_shard_for_is_deterministic_and_bounded():
+    assert shard_for("site-0", 8) == shard_for("site-0", 8)
+    for n in (1, 2, 7, 32):
+        for i in range(40):
+            assert 0 <= shard_for(f"site-{i}", n) < n
+
+
+def test_shard_for_rejects_bad_count():
+    with pytest.raises(ValueError):
+        shard_for("site-0", 0)
+    with pytest.raises(ValueError):
+        ShardedDiscoveryIndex(0)
+
+
+def test_reexport_is_same_class():
+    assert _Direct is ShardedDiscoveryIndex
+
+
+def test_same_site_lands_on_one_shard(sharded):
+    rows = sharded.query(site="site-2")
+    shard = sharded.shard_id("site-2")
+    for row in rows:
+        assert row["record_id"] in sharded.shards[shard]
+
+
+def test_len_contains_get(sharded):
+    assert len(sharded) == 20
+    assert "rec-0003" in sharded
+    assert "rec-9999" not in sharded
+    assert sharded.get("rec-0003")["site"] == "site-3"
+    assert sharded.get("rec-9999") is None
+
+
+def test_query_matches_flat_index(sharded):
+    flat = DiscoveryIndex()
+    for i in range(20):
+        flat.publish(entry(i, f"site-{i % 5}",
+                           technique=("powder-xrd" if i % 2 else "uv-vis"),
+                           institution=f"inst-{i % 3}"))
+    for filters in ({}, {"site": "site-1"},
+                    {"metadata.technique": "uv-vis"},
+                    {"institution": "inst-2"},
+                    {"record_id": "rec-0007"},
+                    {"metadata.technique": "powder-xrd",
+                     "institution": "inst-1"}):
+        assert ([e["record_id"] for e in sharded.query(**filters)]
+                == [e["record_id"] for e in flat.query(**filters)])
+
+
+def test_results_sorted_by_record_id(sharded):
+    ids = [e["record_id"] for e in sharded.query()]
+    assert ids == sorted(ids)
+
+
+def test_site_and_pk_queries_route_fanouts_counted(sharded):
+    before = dict(sharded.stats)
+    sharded.query(site="site-1")
+    sharded.query(record_id="rec-0002")
+    sharded.query(**{"metadata.technique": "uv-vis"})
+    stats = sharded.stats
+    assert stats["routed_queries"] == before["routed_queries"] + 2
+    assert stats["fanout_queries"] == before["fanout_queries"] + 1
+
+
+def test_pk_query_for_unknown_record_is_empty(sharded):
+    assert sharded.query(record_id="rec-9999") == []
+
+
+def test_moved_site_republish_drops_stale_copy(sharded):
+    moved = entry(3, "site-4")
+    old_shard = sharded.shard_id("site-3")
+    sharded.publish(moved)
+    assert len(sharded) == 20
+    assert sharded.get("rec-0003")["site"] == "site-4"
+    assert ("rec-0003" in sharded.shards[old_shard]) == (
+        old_shard == sharded.shard_id("site-4"))
+    assert [e["record_id"] for e in sharded.query(site="site-3")
+            if e["record_id"] == "rec-0003"] == []
+
+
+def test_remove(sharded):
+    sharded.remove("rec-0000")
+    assert "rec-0000" not in sharded
+    assert sharded.get("rec-0000") is None
+    sharded.remove("rec-0000")  # idempotent
+    assert len(sharded) == 19
+
+
+def test_stats_aggregate_shard_counters(sharded):
+    assert sharded.stats["publishes"] == 20
+    sharded.query(site="site-0")
+    assert sharded.stats["queries"] >= 1
+    assert sharded.stats["index_hits"] >= 1
+
+
+def test_shard_sizes_cover_all_entries(sharded):
+    assert sum(sharded.shard_sizes()) == 20
+    assert len(sharded.shard_sizes()) == 4
+
+
+def test_index_hits_for_secondary_filters(sharded):
+    hits_before = sharded.stats["index_hits"]
+    misses_before = sharded.stats["index_misses"]
+    sharded.query(**{"metadata.technique": "uv-vis"})
+    assert sharded.stats["index_hits"] > hits_before
+    assert sharded.stats["index_misses"] == misses_before
+
+
+def test_unindexed_filter_scans(sharded):
+    misses_before = sharded.stats["index_misses"]
+    rows = sharded.query(**{"metadata.color": "blue"})
+    assert rows == []
+    assert sharded.stats["index_misses"] > misses_before

@@ -132,3 +132,78 @@ def test_stats_rebinding_keeps_existing_tallies():
     first["sent"] += 3
     second = reg.stats("comp", {"sent": 0})  # same counters, not reset
     assert second["sent"] == 3
+
+
+# -- mergeable registries (PR 7) --------------------------------------------
+
+
+def test_counter_and_gauge_merge():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("x").inc(3)
+    b.counter("x").inc(4)
+    b.counter("only_b").inc()
+    b.gauge("g").set(2.5)
+    a.merge(b)
+    assert a.counter("x").value == 7
+    assert a.counter("only_b").value == 1
+    assert a.gauge("g").value == 2.5
+
+
+def test_histogram_merge_bucketwise():
+    a, b = Histogram("h"), Histogram("h")
+    for v in (0.1, 0.5, 2.0):
+        a.observe(v)
+    for v in (0.2, 8.0):
+        b.observe(v)
+    a.merge_from(b)
+    assert a.count == 5
+    assert a.total == pytest.approx(10.8)
+    assert a.summary()["min"] == pytest.approx(0.1)
+    assert a.summary()["max"] == pytest.approx(8.0)
+    # Quantiles stay within sketch error of the pooled sample.
+    assert a.quantile(1.0) >= 8.0 * 0.9
+
+
+def test_histogram_merge_rejects_mismatched_buckets():
+    a = Histogram("h", lo=1e-6, growth=1.6)
+    b = Histogram("h", lo=1e-6, growth=2.0)
+    with pytest.raises(ValueError):
+        a.merge_from(b)
+
+
+def test_histogram_bucket_state_roundtrip():
+    a = Histogram("h")
+    for v in (0.3, 0.9, 4.2):
+        a.observe(v)
+    state = a.bucket_state()
+    b = Histogram("h", lo=state["lo"], growth=state["growth"])
+    b.merge_bucket_state(state)
+    assert b.bucket_state() == state
+
+
+def test_registry_state_is_plain_data_and_mergeable():
+    import json
+    shard = MetricsRegistry()
+    shard.counter("mesh.ingested", site="site-0").inc(5)
+    shard.gauge("queue.depth").set(3)
+    shard.histogram("latency", site="site-0").observe(0.25)
+    state = shard.state()
+    json.dumps(state)  # picklable/serializable plain data
+
+    merged = MetricsRegistry()
+    merged.merge_state(state)
+    merged.merge_state(state)  # a second identical shard
+    assert merged.counter("mesh.ingested", site="site-0").value == 10
+    assert merged.gauge("queue.depth").value == 6
+    assert merged.histogram("latency", site="site-0").count == 2
+
+
+def test_registry_merge_keeps_labels_distinct():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("served", site="site-0").inc(1)
+    b.counter("served", site="site-1").inc(2)
+    a.merge(b)
+    assert a.counter("served", site="site-0").value == 1
+    assert a.counter("served", site="site-1").value == 2
+    snap = a.snapshot(site="site-1")
+    assert list(snap["counters"].values()) == [2]

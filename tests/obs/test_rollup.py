@@ -1,0 +1,92 @@
+"""Tests for streaming windowed rollups."""
+
+import pytest
+
+from repro.obs import WindowedCounter
+
+
+def test_rejects_bad_config():
+    with pytest.raises(ValueError):
+        WindowedCounter(window_s=0)
+    with pytest.raises(ValueError):
+        WindowedCounter(n_windows=0)
+    with pytest.raises(ValueError):
+        WindowedCounter().inc(-1.0)
+
+
+def test_counts_within_one_window():
+    wc = WindowedCounter(window_s=10.0, n_windows=4)
+    wc.inc(0.0)
+    wc.inc(3.0)
+    wc.inc(9.9, amount=2.0)
+    assert wc.total == 4.0
+    assert wc.recent() == 4.0
+    assert wc.rate() == pytest.approx(0.4)
+
+
+def test_ring_is_bounded_and_rolls_up():
+    wc = WindowedCounter(window_s=1.0, n_windows=3)
+    for t in range(10):  # windows 0..9, ring keeps the last 3
+        wc.inc(float(t))
+    assert wc.total == 10.0
+    assert wc.recent() == 3.0
+    assert wc.rolled == 7.0
+    assert wc.summary()["windows_retained"] == 3.0
+
+
+def test_rate_decays_over_idle_gap():
+    wc = WindowedCounter(window_s=1.0, n_windows=10)
+    wc.inc(0.0, amount=8.0)
+    assert wc.rate() == pytest.approx(8.0)
+    wc.inc(7.0, amount=0.0)  # an empty late window stretches the span
+    assert wc.rate() == pytest.approx(1.0)
+
+
+def test_late_event_folds_into_retained_window():
+    wc = WindowedCounter(window_s=1.0, n_windows=4)
+    wc.inc(0.0)
+    wc.inc(5.0)
+    wc.inc(3.0, amount=2.0)  # late but still inside the ring span
+    assert wc.total == 4.0
+    assert wc.recent() == 4.0
+
+
+def test_too_late_event_goes_to_rollup():
+    wc = WindowedCounter(window_s=1.0, n_windows=2)
+    for t in range(6):
+        wc.inc(float(t))
+    wc.inc(0.0, amount=5.0)  # far older than the ring
+    assert wc.rolled == 4.0 + 5.0
+    assert wc.recent() == 2.0
+
+
+def test_merge_from_aligned_shards():
+    a = WindowedCounter(window_s=10.0, n_windows=8)
+    b = WindowedCounter(window_s=10.0, n_windows=8)
+    for t in (1.0, 12.0, 25.0):
+        a.inc(t)
+    for t in (5.0, 14.0, 71.0):
+        b.inc(t, amount=2.0)
+    a.merge_from(b)
+    assert a.total == 9.0
+    assert a.recent() == 9.0
+
+
+def test_merge_rejects_mismatched_windows():
+    a = WindowedCounter(window_s=10.0)
+    b = WindowedCounter(window_s=60.0)
+    with pytest.raises(ValueError):
+        a.merge_from(b)
+
+
+def test_state_is_plain_data():
+    import json
+    wc = WindowedCounter(window_s=2.0, n_windows=3)
+    for t in range(9):
+        wc.inc(float(t))
+    state = wc.state()
+    json.dumps(state)
+    fresh = WindowedCounter(window_s=2.0, n_windows=3)
+    fresh.merge_state(state)
+    assert fresh.total == wc.total
+    assert fresh.recent() == wc.recent()

@@ -137,3 +137,87 @@ def test_campaign_trace_has_expected_span_shape():
     assert len(experiments) == 6
     phases = [c["name"] for c in experiments[0]["children"]]
     assert phases == ["plan", "verify", "execute", "evaluate"]
+
+
+# -- bounded ring + spill (PR 7) --------------------------------------------
+
+
+def test_unbounded_tracer_keeps_plain_list(sim):
+    tr = Tracer(sim)
+    for i in range(5):
+        tr.instant("e", i=i)
+    assert isinstance(tr.events, list)
+    assert len(tr.events) == 5
+    assert tr.dropped == 0 and tr.spilled == 0
+
+
+def test_ring_bounds_memory_and_counts_drops(sim):
+    from repro.obs.metrics import MetricsRegistry
+    reg = MetricsRegistry()
+    tr = Tracer(sim, max_events=3, metrics=reg)
+    for i in range(10):
+        tr.instant("e", i=i)
+    assert len(tr.events) == 3
+    assert [ev.attrs["i"] for ev in tr.events] == [7, 8, 9]  # hot tail
+    assert tr.dropped == 7
+    assert reg.counter("obs.dropped_events").value == 7
+
+
+def test_ring_rejects_nonpositive_size(sim):
+    import pytest
+    with pytest.raises(ValueError):
+        Tracer(sim, max_events=0)
+
+
+def test_spill_keeps_complete_record(tmp_path, sim):
+    from repro.obs.export import load_jsonl
+    from repro.obs.metrics import MetricsRegistry
+    reg = MetricsRegistry()
+    path = str(tmp_path / "trace.jsonl")
+    tr = Tracer(sim, max_events=2, spill=path, metrics=reg)
+    for i in range(6):
+        tr.instant("e", i=i)
+    tr.close_spill()
+    events = load_jsonl(path)
+    assert [ev.attrs["i"] for ev in events] == list(range(6))
+    assert len(tr.events) == 2  # ring still bounded
+    assert tr.dropped == 0  # nothing lost: it all hit disk
+    assert tr.spilled == 6
+    assert reg.counter("obs.spilled_events").value == 6
+    assert reg.counter("obs.dropped_events").value == 0
+
+
+def test_spill_writer_object_and_lazy_open(tmp_path, sim):
+    from repro.obs.export import TraceSpillWriter
+    path = str(tmp_path / "lazy.jsonl")
+    writer = TraceSpillWriter(path)
+    tr = Tracer(sim, spill=writer)
+    import os
+    assert not os.path.exists(path)  # lazy: nothing emitted yet
+    tr.instant("e")
+    tr.flush()
+    assert os.path.exists(path)
+    assert writer.events_written == 1
+    tr.close_spill()
+    assert tr.spill is None
+    tr.instant("after-close")  # stays usable in memory
+    assert tr.spilled == 1
+
+
+def test_spilled_file_matches_to_jsonl_bytes(tmp_path, sim):
+    from repro.obs.export import to_jsonl
+    path = str(tmp_path / "trace.jsonl")
+    tr = Tracer(sim, spill=path)
+    with tr.span("outer"):
+        tr.instant("inner", x=1)
+    tr.close_spill()
+    with open(path, "r", encoding="utf-8") as fh:
+        assert fh.read() == to_jsonl(tr)
+
+
+def test_null_tracer_has_ring_interface():
+    from repro.obs.trace import NULL_TRACER
+    assert NULL_TRACER.dropped == 0
+    assert NULL_TRACER.spilled == 0
+    NULL_TRACER.flush()
+    NULL_TRACER.close_spill()

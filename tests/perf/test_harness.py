@@ -31,7 +31,8 @@ def test_quick_run_produces_versioned_report():
 def test_all_workloads_registered():
     assert set(WORKLOADS) == {"surrogate_e12", "gp_scaling", "sim_events",
                               "bus_throughput", "bus_routing_indexed",
-                              "parallel_worlds", "service_multitenant"}
+                              "parallel_worlds", "service_multitenant",
+                              "mesh_governance"}
 
 
 def test_unknown_workload_rejected():

@@ -1,0 +1,85 @@
+"""Mesh world determinism + per-shard metrics merge across the runner."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.scale.hashing import decision_hash
+from repro.scale.runner import WorldRunner, WorldSpec
+from repro.scale.worlds import WORLD_KINDS, mesh_world
+
+SMALL = {"n_facilities": 4, "n_shards": 2, "records_per_facility": 2}
+
+
+def test_mesh_world_registered():
+    assert WORLD_KINDS["mesh"] is mesh_world
+
+
+def test_same_seed_same_hash():
+    assert (decision_hash(mesh_world(7, SMALL))
+            == decision_hash(mesh_world(7, SMALL)))
+
+
+def test_different_seed_different_hash():
+    assert (decision_hash(mesh_world(7, SMALL))
+            != decision_hash(mesh_world(8, SMALL)))
+
+
+def test_parallel_matches_serial():
+    specs = [WorldSpec(seed=s, entrypoint=mesh_world, config=SMALL)
+             for s in (0, 1)]
+    serial = WorldRunner(1).run(specs)
+    parallel = WorldRunner(2).run(specs)
+    assert serial.hashes == parallel.hashes
+
+
+def test_spill_paths_do_not_change_hash(tmp_path):
+    small = dict(SMALL, max_trace_events=4)
+    plain = mesh_world(3, small)
+    spilled = mesh_world(3, dict(
+        small,
+        trace_spill=str(tmp_path / "trace.jsonl"),
+        provenance_out=str(tmp_path / "prov.json")))
+    assert decision_hash(plain) == decision_hash(spilled)
+    assert (tmp_path / "trace.jsonl").is_file()
+    assert (tmp_path / "prov.json").is_file()
+
+
+def test_output_shape():
+    out = mesh_world(0, SMALL)
+    assert out["records"] == 8
+    assert out["provenance"]["pending"] == 0  # merge stitched everything
+    assert 0.0 < out["provenance"]["completeness"] <= 1.0
+    assert sum(out["shard_sizes"]) == out["records"]
+    assert out["trace"]["retained"] <= out["trace"]["events"]
+    assert out["rollup"]["total"] == 8.0
+    assert len(out["decisions"]) == SMALL["n_facilities"]
+
+
+def test_trace_ring_is_bounded():
+    out = mesh_world(0, dict(SMALL, max_trace_events=5))
+    assert out["trace"]["retained"] == 5
+    assert out["trace"]["events"] > 5
+
+
+# -- merged per-shard metrics --------------------------------------------------
+
+def metrics_world(seed, config):
+    """Picklable toy world that reports a per-shard metrics dump."""
+    registry = MetricsRegistry()
+    registry.counter("world.widgets", seed=str(seed)).inc(seed + 1)
+    registry.counter("world.total").inc(10.0)
+    registry.histogram("world.latency").observe(0.1 * (seed + 1))
+    return {"seed": seed, "metrics_state": registry.state()}
+
+
+def test_merged_metrics_aggregates_across_workers():
+    specs = [WorldSpec(seed=s, entrypoint=metrics_world) for s in (0, 1, 2)]
+    merged = WorldRunner(2).run(specs).merged_metrics()
+    assert merged.counter("world.total").value == 30.0
+    assert merged.counter("world.widgets", seed="2").value == 3.0
+    assert merged.histogram("world.latency").summary()["count"] == 3.0
+
+
+def test_merged_metrics_tolerates_worlds_without_dump():
+    specs = [WorldSpec(seed=0, entrypoint=metrics_world),
+             WorldSpec(seed=1, entrypoint=mesh_world, config=SMALL)]
+    merged = WorldRunner(1).run(specs).merged_metrics()
+    assert merged.counter("world.total").value == 10.0
