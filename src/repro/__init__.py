@@ -19,14 +19,39 @@ Everything runs on the shared discrete-event kernel in :mod:`repro.sim`;
 synthetic ground-truth science lives in :mod:`repro.labsci`.
 """
 
-from repro.resilience import (ChaosController, CircuitBreaker, Deadline,
-                              RetryPolicy, resilient_call)
-from repro.sim.kernel import Simulator
-from repro.sim.rng import RngRegistry
-from repro.testbed import BuiltTestbed, SiteBuilder, Testbed
-
 __all__ = ["BuiltTestbed", "ChaosController", "CircuitBreaker", "Deadline",
            "RetryPolicy", "RngRegistry", "Simulator", "SiteBuilder",
            "Testbed", "__version__", "resilient_call"]
 
 __version__ = "1.0.0"
+
+# Root re-exports resolve lazily (PEP 562): importing the package for a
+# leaf tool (e.g. ``python -m repro.analysis``) must not drag in the full
+# simulation stack — ``repro.testbed`` alone transitively imports scipy,
+# which costs ~1s and would blow the analyzer's warm-run budget.
+_EXPORTS = {
+    "BuiltTestbed": "repro.testbed",
+    "SiteBuilder": "repro.testbed",
+    "Testbed": "repro.testbed",
+    "ChaosController": "repro.resilience",
+    "CircuitBreaker": "repro.resilience",
+    "Deadline": "repro.resilience",
+    "RetryPolicy": "repro.resilience",
+    "resilient_call": "repro.resilience",
+    "Simulator": "repro.sim.kernel",
+    "RngRegistry": "repro.sim.rng",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

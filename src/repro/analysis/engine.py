@@ -49,6 +49,13 @@ _PRAGMA = re.compile(
 #: Report schema version — bump on breaking JSON changes.
 REPORT_VERSION = 1
 
+#: Pseudo-rule for files that fail to parse: reported as a finding (with
+#: the syntax error's own line) instead of aborting or being relegated to
+#: a side channel, so one broken file cannot hide its own debt.
+PARSE_ERROR_CODE = "D000"
+_PARSE_ERROR_HINT = ("fix the syntax error; an unparsable file is invisible "
+                     "to every other rule")
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -172,12 +179,42 @@ def _pragma_codes(line: str) -> Optional[frozenset[str]]:
     return frozenset(c.strip() for c in codes.split(",") if c.strip())
 
 
-def _suppressed(lines: Sequence[str], line_no: int, code: str) -> bool:
+def _stmt_starts(module: ast.Module) -> dict[int, int]:
+    """line -> first line of the innermost multi-line simple statement
+    covering it, so a pragma on the first line of a wrapped call also
+    suppresses findings reported on its continuation lines."""
+    spans: list[tuple[int, int]] = []
+    simple = (ast.Expr, ast.Assign, ast.AnnAssign, ast.AugAssign,
+              ast.Return, ast.Raise, ast.Assert, ast.Delete)
+    for node in ast.walk(module):
+        if isinstance(node, simple):
+            end = getattr(node, "end_lineno", None) or node.lineno
+            if end > node.lineno:
+                spans.append((node.lineno, end))
+    starts: dict[int, int] = {}
+    # Wider spans first so inner (narrower) statements win the overwrite.
+    for start, end in sorted(spans, key=lambda s: s[0] - s[1]):
+        for line in range(start, end + 1):
+            starts[line] = start
+    return starts
+
+
+def _suppressed(lines: Sequence[str], line_no: int, code: str,
+                stmt_starts: Optional[dict[int, int]] = None) -> bool:
     """Pragma check for a finding at 1-based ``line_no``: the line itself,
-    or a comment-only line directly above."""
-    candidates = [lines[line_no - 1]] if line_no <= len(lines) else []
-    if line_no >= 2 and lines[line_no - 2].lstrip().startswith("#"):
-        candidates.append(lines[line_no - 2])
+    a comment-only line directly above, or — when the finding sits on a
+    continuation line of a wrapped statement — the statement's first
+    line (and the comment line above *that*)."""
+    line_nos = [line_no]
+    start = (stmt_starts or {}).get(line_no)
+    if start is not None and start != line_no:
+        line_nos.append(start)
+    candidates = []
+    for no in line_nos:
+        if no <= len(lines):
+            candidates.append(lines[no - 1])
+        if no >= 2 and lines[no - 2].lstrip().startswith("#"):
+            candidates.append(lines[no - 2])
     for text in candidates:
         codes = _pragma_codes(text)
         if codes is not None and (not codes or code in codes):
@@ -193,13 +230,14 @@ def lint_source(source: str, path: str = "<string>",
     """Lint one source string; raises ``SyntaxError`` on unparsable input."""
     module = ast.parse(source, filename=path)
     lines = source.splitlines()
+    starts = _stmt_starts(module)
     findings = []
     for v in check_module(module, tuple(rules) if rules else ALL_RULES):
         rule = RULES_BY_CODE[v.code]
         findings.append(Finding(
             path=path, line=v.line, col=v.col, code=v.code,
             message=v.message, hint=rule.hint,
-            suppressed=_suppressed(lines, v.line, v.code)))
+            suppressed=_suppressed(lines, v.line, v.code, starts)))
     return findings
 
 
@@ -222,13 +260,26 @@ def lint_paths(paths: Sequence[str | Path],
     self-check test."""
     config = config or DetlintConfig()
     report = Report()
+    # detlint: ignore[C003] not a retry — every iteration lints a different file
     for file in _discover([Path(p) for p in paths], config):
         try:
             source = file.read_text("utf-8")
+        except (UnicodeDecodeError, OSError) as exc:
+            report.parse_errors.append(f"{file.as_posix()}: {exc}")
+            continue
+        try:
             findings = lint_source(source, path=file.as_posix(),
                                    rules=config.rules())
-        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-            report.parse_errors.append(f"{file.as_posix()}: {exc}")
+        except SyntaxError as exc:
+            # A broken file is a *finding* (with its own location), not a
+            # crash and not a silent skip: the run keeps going and the
+            # exit code still reflects the problem.
+            report.files_scanned += 1
+            report.findings.append(Finding(
+                path=file.as_posix(), line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1, code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+                hint=_PARSE_ERROR_HINT))
             continue
         report.files_scanned += 1
         report.findings.extend(findings)

@@ -163,6 +163,7 @@ class FailoverGroup:
         """
         tried: set[str] = set()
         last_exc: Optional[Exception] = None
+        # detlint: ignore[C003] this IS the resilience primitive: each pass tries a different replica, never re-invoking a failed one
         for _ in range(len(self.replicas)):
             target = self._route(tried)
             if target is None:

@@ -253,6 +253,7 @@ class RpcClient:
             self.stats["retries"] += 1
 
         try:
+            # detlint: ignore[C003] every inner attempt carries its own per-call deadline; the outer wrapper is bounded by policy.max_attempts
             result = yield from resilient_call(
                 self.sim, attempt, policy=policy,
                 retry_on=retry_exceptions,

@@ -168,6 +168,7 @@ class FaultTolerantExecutor:
         attempt is exhausted.
         """
         try:
+            # detlint: ignore[C003] bounded by retry_policy.max_attempts over a finite route set; a sim-time budget would abort mid-repair
             outcome: ExperimentOutcome = yield from resilient_call(
                 self.sim, lambda _n: self._attempt(plan),
                 policy=self.retry_policy,

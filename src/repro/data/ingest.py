@@ -104,6 +104,7 @@ class MeshIngestor:
 
     def _run(self):
         queue = self.bus.brokers[self.broker].queues[self.queue_name]
+        # detlint: ignore[C003] consumer drain loop, not a retry: each pass takes a fresh envelope; BrokerDown parks until revival
         while True:
             try:
                 envelope = yield from self.bus.consume(

@@ -74,6 +74,10 @@ class DiscoveryIndex:
                       "index_hits": 0, "index_misses": 0}
 
     def publish(self, entry: dict[str, Any]) -> None:
+        self._insert(entry)
+        self.stats["publishes"] += 1
+
+    def _insert(self, entry: dict[str, Any]) -> None:
         record_id = entry["record_id"]
         old = self._entries.get(record_id)
         if old is not None:
@@ -83,7 +87,26 @@ class DiscoveryIndex:
             value = _field_value(entry, field)
             if value is not None:
                 self._inverted[field].setdefault(value, set()).add(record_id)
-        self.stats["publishes"] += 1
+
+    def merge_from(self, other: "DiscoveryIndex") -> None:
+        """Fold another index into this one (shard fan-in).
+
+        Entries merge in sorted record-id order with the incoming side
+        winning conflicts — the same last-writer semantics as a repeated
+        :meth:`publish` — and query/publish counters add, so merged
+        stats equal what one unsharded index would have recorded.
+        """
+        for record_id in sorted(other._entries):
+            self._insert(dict(other._entries[record_id]))
+        for key, value in other.stats.items():
+            self.stats[key] = self.stats.get(key, 0) + value
+
+    def state(self) -> dict[str, Any]:
+        """Deterministic snapshot (entries sorted by record id) for
+        cross-shard comparison and replay verification."""
+        return {"entries": [dict(self._entries[r])
+                            for r in sorted(self._entries)],
+                "stats": dict(self.stats)}
 
     def remove(self, record_id: str) -> None:
         entry = self._entries.pop(record_id, None)

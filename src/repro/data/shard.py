@@ -131,6 +131,33 @@ class ShardedDiscoveryIndex:
             out.extend(shard.query(predicate=predicate, **equals))
         return sorted(out, key=lambda e: e["record_id"])
 
+    # -- shard fan-in ------------------------------------------------------
+
+    def merge_from(self, other: "ShardedDiscoveryIndex") -> None:
+        """Fold a worker's index into this one after a fan-out phase.
+
+        Requires equal shard counts: :func:`shard_for` is deterministic,
+        so same-shaped indexes place every record identically and the
+        merge is a per-shard :meth:`DiscoveryIndex.merge_from` plus a
+        home-map union (incoming side wins conflicts, like a repeated
+        publish).
+        """
+        if other.n_shards != self.n_shards:
+            raise ValueError(
+                f"cannot merge a {other.n_shards}-shard index into a "
+                f"{self.n_shards}-shard one — shard routing would differ")
+        for ours, theirs in zip(self.shards, other.shards):
+            ours.merge_from(theirs)
+        self._home.update(other._home)
+        for key, value in other._local.items():
+            self._local[key] = self._local.get(key, 0) + value
+
+    def state(self) -> dict[str, Any]:
+        """Deterministic snapshot: shard shape plus per-shard states."""
+        return {"n_shards": self.n_shards,
+                "shards": [shard.state() for shard in self.shards],
+                "local": dict(self._local)}
+
     # -- introspection -----------------------------------------------------
 
     @property

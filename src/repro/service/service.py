@@ -198,6 +198,7 @@ class CampaignService:
         The process parks on a wake event whenever nothing is runnable,
         so a drained service never keeps the simulator alive.
         """
+        # detlint: ignore[C003] slot supervision loop: each pass serves a new campaign; a runner failure fails that campaign only
         while True:
             entry = self.scheduler.select(self.sim.now, self._eligible)
             if entry is None:
@@ -335,6 +336,34 @@ class CampaignService:
                          "budget_remaining": t.budget_remaining}
                 for t in self.tenants
             },
+        }
+
+    def utilization_report(self) -> dict[str, Any]:
+        """Operator dashboard read back from the ``service.*`` metrics.
+
+        This is the read side of the service's observability contract:
+        the admission counters, load gauges, and queue-wait histograms
+        emitted above are consumed here, so emit/read drift in a metric
+        name shows up as a C002 contract finding instead of a silently
+        empty dashboard.
+        """
+        tenants: dict[str, dict[str, Any]] = {}
+        for t in self.tenants:
+            tenants[t.name] = {
+                "admitted": self.metrics.counter("service.admitted",
+                                                 tenant=t.name).value,
+                "queued": self.metrics.gauge("service.queued",
+                                             tenant=t.name).value,
+                "running": self.metrics.gauge("service.running",
+                                              tenant=t.name).value,
+                "queue_wait": self.metrics.histogram(
+                    "service.queue_wait", tenant=t.name, lo=1e-3).summary(),
+            }
+        return {
+            "backlog": self.metrics.gauge("service.backlog").value,
+            "peak_in_system":
+                self.metrics.gauge("service.peak_in_system").value,
+            "tenants": tenants,
         }
 
     def fairness(self) -> float:

@@ -1,0 +1,8 @@
+"""Seeded contract violations — one per C-rule — for the analyzer tests.
+
+Every module here contains both a deliberate violation and a nearby
+correct twin, so the tests pin false-negative AND false-positive
+behavior.  The tree is excluded from detlint/contracts CI runs via
+``[tool.detlint] exclude``; only ``tests/analysis/test_contracts.py``
+points the analyzer at it.
+"""

@@ -1,0 +1,17 @@
+"""C001 seeds: one orphaned publish, one dead binding, one matched pair."""
+
+
+def wire(broker, bus, msg):
+    broker.declare_queue("telemetry")
+    # Matched pair: the publish below lands on this binding.
+    broker.bind("telemetry", "telemetry.*.xrd")
+    # Dead binding: nothing in this fixture tree publishes alerts.
+    broker.bind("telemetry", "alerts.#")
+
+    def producer():
+        # Matched publish.
+        yield from bus.publish("main", "site-a", "telemetry.site-a.xrd", msg)
+        # Orphaned publish: no pattern matches a 'commands.' prefix.
+        yield from bus.publish("main", "site-a", "commands.site-a.start", msg)
+
+    return producer

@@ -1,0 +1,15 @@
+"""C002 seeds: a kind collision, an unread counter, and a read twin."""
+
+
+def emit(registry, n):
+    # Kind collision: the same name registered as counter AND gauge.
+    registry.counter("demo.mixed_kind").inc(n)
+    registry.gauge("demo.mixed_kind").set(n)
+    # Unread: emitted here, mentioned nowhere else in the fixture tree.
+    registry.counter("demo.orphan_total").inc()
+    # Read twin: consumed by the report below, so no finding.
+    registry.counter("demo.consumed_total").inc()
+
+
+def report(registry):
+    return {"consumed": registry.counter("demo.consumed_total").value}

@@ -1,0 +1,34 @@
+"""C003 seeds: a deadline-less resilient_call, a bare retry loop, and
+compliant twins of each."""
+
+from repro.resilience import Deadline, resilient_call
+
+
+def call_without_deadline(sim, attempt, policy):
+    # Violation: no deadline= — retries may consume unbounded sim time.
+    return resilient_call(sim, attempt, policy=policy)
+
+
+def call_with_deadline(sim, attempt, policy):
+    return resilient_call(sim, attempt, policy=policy,
+                          deadline=Deadline(sim, 60.0))
+
+
+def bare_retry(flaky):
+    # Violation: loop + swallowed exception + re-invoke, outside
+    # repro.resilience.
+    while True:
+        try:
+            return flaky()
+        except ValueError:
+            continue
+
+
+def bounded_scan(items, handler):
+    out = []
+    for item in items:
+        try:
+            out.append(handler(item))
+        except ValueError as exc:
+            raise RuntimeError(f"bad item {item}") from exc
+    return out

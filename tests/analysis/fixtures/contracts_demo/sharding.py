@@ -1,0 +1,38 @@
+"""C004 seeds: a per-shard component without a merge protocol, next to
+one that implements it."""
+
+
+class Postings:
+    """Mutates collective state, no merge_from/state -> C004."""
+
+    def __init__(self):
+        self._ids = {}
+
+    def add(self, key, record_id):
+        self._ids.setdefault(key, []).append(record_id)
+
+
+class TallySet:
+    """Mutates state but implements the merge protocol -> clean."""
+
+    def __init__(self):
+        self._counts = {}
+
+    def add(self, key):
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def merge_from(self, other):
+        for key, n in other._counts.items():
+            self._counts[key] = self._counts.get(key, 0) + n
+
+
+class ShardedDiscoveryIndex:
+    """Fan-out root: everything it instantiates is stored per-shard."""
+
+    def __init__(self, n_shards):
+        self.postings = [Postings() for _ in range(n_shards)]
+        self.tallies = [TallySet() for _ in range(n_shards)]
+
+    def merge_from(self, other):
+        for ours, theirs in zip(self.tallies, other.tallies):
+            ours.merge_from(theirs)

@@ -3,9 +3,9 @@ federation builder, and the campaign/metrics accounting."""
 
 import pytest
 
-from repro.core import (CampaignMetrics, CampaignResult, CampaignSpec,
-                        ExperimentRecord, FederationManager,
-                        experiments_to_target, speedup, time_to_target)
+from repro.core import (CampaignResult, CampaignSpec, ExperimentRecord,
+                        FederationManager, experiments_to_target, speedup,
+                        time_to_target)
 from repro.core.metrics import reduction_fraction
 from repro.labsci import QuantumDotLandscape
 
@@ -81,43 +81,35 @@ def test_speedup_and_reduction():
     assert reduction_fraction(None, 60.0) is None
 
 
-# These three keep exercising the deprecated legacy constructor on
-# purpose (the canonical path is CampaignReport — see tests/core/
-# test_report.py); the filter keeps the expected warning out of the
-# suite's noise without asserting on it in every line.
-@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_campaign_metrics_from_result():
     r = make_result([0.1, 0.3, 0.6, 0.9])
-    m = CampaignMetrics.from_result(r, target=0.5)
+    m = r.report(target=0.5).metrics()
     assert m.time_to_target == pytest.approx(30.0)
     assert m.experiments_to_target == 3
     assert m.duration == r.duration
     assert m.n_experiments == 4
     assert m.best_value == r.best_value
     assert m.target == 0.5
-    dnf = CampaignMetrics.from_result(r, target=0.95)
+    dnf = r.report(target=0.95).metrics()
     assert dnf.time_to_target is None and dnf.experiments_to_target is None
 
 
-@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_campaign_metrics_target_defaults_to_spec():
     r = make_result([0.1, 0.9])
     r.spec = CampaignSpec(name="m", objective_key="o", target=0.5,
                           max_experiments=2)
-    m = CampaignMetrics.from_result(r)
+    m = r.report().metrics()
     assert m.target == 0.5 and m.experiments_to_target == 2
 
 
-@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 def test_campaign_metrics_comparisons():
-    slow = CampaignMetrics.from_result(make_result([0.1, 0.2, 0.3, 0.6]),
-                                       target=0.5)
-    fast = CampaignMetrics.from_result(make_result([0.6]), target=0.5)
+    slow = make_result([0.1, 0.2, 0.3, 0.6]).report(target=0.5).metrics()
+    fast = make_result([0.6]).report(target=0.5).metrics()
     assert fast.speedup_vs(slow) == pytest.approx(4.0)
     assert fast.reduction_vs(slow) == pytest.approx(0.75)
     # Raw-number baselines and DNF propagation.
     assert fast.speedup_vs(20.0) == pytest.approx(2.0)
-    dnf = CampaignMetrics.from_result(make_result([0.1]), target=0.5)
+    dnf = make_result([0.1]).report(target=0.5).metrics()
     assert dnf.speedup_vs(slow) is None
     assert fast.speedup_vs(dnf) is None
     assert fast.reduction_vs(None) is None
@@ -137,6 +129,13 @@ def test_campaign_reaches_budget_and_accounts(qd_landscape):
     assert result.best_value is not None
     assert result.counters["verification"]["plans"] >= 15
     assert result.duration > 0
+    # The emitted campaign counters are part of the observability
+    # contract (rule C002): every executed experiment lands in
+    # campaign.experiments, and nothing was skipped on the happy path.
+    assert fed.metrics.counter("campaign.experiments",
+                               site="site-0").value == 15
+    assert fed.metrics.counter("campaign.skipped_plans",
+                               site="site-0").value == 0
 
 
 def test_campaign_stops_at_target():

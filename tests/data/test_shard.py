@@ -136,3 +136,64 @@ def test_unindexed_filter_scans(sharded):
     rows = sharded.query(**{"metadata.color": "blue"})
     assert rows == []
     assert sharded.stats["index_misses"] > misses_before
+
+
+# -- shard fan-in (merge protocol) -------------------------------------------
+
+
+def test_discovery_index_merge_from_combines_entries_and_stats():
+    left, right = DiscoveryIndex(), DiscoveryIndex()
+    for i in range(4):
+        left.publish(entry(i, "site-0"))
+    for i in range(4, 7):
+        right.publish(entry(i, "site-1"))
+    right.query(site="site-1")
+    left.merge_from(right)
+    assert len(left) == 7
+    assert left.get("rec-0005")["site"] == "site-1"
+    assert left.stats["publishes"] == 7
+    assert left.stats["queries"] == 1
+    # Secondary indexes cover the merged entries too.
+    assert len(left.query(site="site-1")) == 3
+
+
+def test_discovery_index_merge_conflict_incoming_wins():
+    left, right = DiscoveryIndex(), DiscoveryIndex()
+    left.publish(entry(0, "site-0", technique="uv-vis"))
+    right.publish(entry(0, "site-0", technique="powder-xrd"))
+    left.merge_from(right)
+    assert len(left) == 1
+    assert left.get("rec-0000")["metadata"]["technique"] == "powder-xrd"
+    assert [e["record_id"] for e in
+            left.query(**{"metadata.technique": "uv-vis"})] == []
+
+
+def test_discovery_index_state_is_deterministic_snapshot():
+    idx = DiscoveryIndex()
+    for i in (3, 1, 2):
+        idx.publish(entry(i, "site-0"))
+    state = idx.state()
+    assert [e["record_id"] for e in state["entries"]] == [
+        "rec-0001", "rec-0002", "rec-0003"]
+    assert state["stats"]["publishes"] == 3
+
+
+def test_sharded_merge_matches_single_index(sharded):
+    other = ShardedDiscoveryIndex(n_shards=4)
+    for i in range(20, 30):
+        other.publish(entry(i, f"site-{i % 5}"))
+    sharded.merge_from(other)
+    assert len(sharded) == 30
+    assert sum(sharded.shard_sizes()) == 30
+    # Merged entries are query-routable exactly like locally-published ones.
+    assert sharded.get("rec-0025")["site"] == "site-0"
+    assert any(e["record_id"] == "rec-0025"
+               for e in sharded.query(site="site-0"))
+    flat_state = sharded.state()
+    assert flat_state["n_shards"] == 4
+    assert sum(len(s["entries"]) for s in flat_state["shards"]) == 30
+
+
+def test_sharded_merge_rejects_mismatched_shard_counts(sharded):
+    with pytest.raises(ValueError):
+        sharded.merge_from(ShardedDiscoveryIndex(n_shards=8))

@@ -177,3 +177,28 @@ def test_from_testbed_runs_real_orchestrators():
     assert report.tenant == "lab"
     assert report.n_experiments == 4
     assert len(report.decisions) == 4
+
+
+def test_utilization_report_reads_emitted_metrics():
+    sim, svc = make_service(n_slots=1)
+    svc.register_tenant("a")
+    svc.register_tenant("b")
+    svc.submit("a", spec("c0"))
+    svc.submit("a", spec("c1"))
+    svc.submit("b", spec("c2"))
+    mid = svc.utilization_report()
+    assert mid["backlog"] == 3.0
+    sim.run()
+    report = svc.utilization_report()
+    # The dashboard is read back from the service.* metrics, so it must
+    # agree with the handles' own accounting.
+    assert report["backlog"] == 0.0
+    assert report["peak_in_system"] == 3.0
+    assert report["tenants"]["a"]["admitted"] == 2.0
+    assert report["tenants"]["b"]["admitted"] == 1.0
+    assert report["tenants"]["a"]["queued"] == 0.0
+    assert report["tenants"]["a"]["running"] == 0.0
+    # One slot serialized three campaigns: someone waited in queue.
+    waits = [report["tenants"][t]["queue_wait"] for t in ("a", "b")]
+    assert sum(w["count"] for w in waits) == 3
+    assert max(w["max"] for w in waits) > 0.0
