@@ -24,12 +24,17 @@ from repro.perf.workloads import WORKLOADS
 
 def _format(report: dict) -> str:
     lines = []
+    skipped = report.get("skipped_gates", {})
     for name, result in report["workloads"].items():
         lines.append(f"{name}:")
         for metric, value in result["metrics"].items():
             lines.append(f"  {metric:<28} {value:g}")
         for gate, value in result["gates"].items():
             lines.append(f"  {gate:<28} {value:.2f}x  [gate]")
+        for key, reason in skipped.items():
+            if key.startswith(f"{name}."):
+                gate = key.split(".", 1)[1]
+                lines.append(f"  {gate:<28} [gate skipped: {reason}]")
     return "\n".join(lines)
 
 

@@ -8,10 +8,11 @@ stack (and everything it imports) stays statically clean.
 Report schema (``SCHEMA_VERSION``)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "quick": bool, "seed": int, "repeats": int,
       "workloads": {name: {"metrics": {...}, "gates": {...}}},
       "gates": {"<workload>.<gate>": ratio, ...},
+      "skipped_gates": {"<workload>.<gate>": "why", ...},
       "obs": {"counters": {"perf.workloads_run": n},
               "gauges": {"perf.<workload>.<metric>": value, ...}}
     }
@@ -19,6 +20,13 @@ Report schema (``SCHEMA_VERSION``)::
 ``gates`` are same-run speedup ratios (see :mod:`repro.perf.workloads`):
 comparing them against a committed baseline is machine-independent, which
 is what lets CI fail on a >20% regression without pinning hardware.
+
+``skipped_gates`` records gates a workload *declined to evaluate* on this
+machine (e.g. ``parallel_worlds.parallel_speedup`` on a single-core box,
+where no parallel win is physically available).  A skip is an honest
+"not measurable here", never a pass: :func:`compare_reports` exempts a
+gate only when the side missing it explicitly declared the skip, so a
+gate that silently vanishes still fails the comparison.
 """
 
 from __future__ import annotations
@@ -31,7 +39,7 @@ from typing import Optional
 from repro.obs.metrics import MetricsRegistry
 from repro.perf.workloads import WORKLOADS
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def _wall_clock() -> float:
@@ -90,6 +98,7 @@ class PerfHarness:
             "repeats": self.repeats,
             "workloads": {},
             "gates": {},
+            "skipped_gates": {},
         }
         for name in self.workload_names:
             fn = WORKLOADS[name]
@@ -102,6 +111,9 @@ class PerfHarness:
             report["workloads"][name] = merged
             for gate, value in merged["gates"].items():
                 report["gates"][f"{name}.{gate}"] = value
+            for run in runs:
+                for gate, reason in run.get("skipped", {}).items():
+                    report["skipped_gates"][f"{name}.{gate}"] = reason
             for metric, value in merged["metrics"].items():
                 self.metrics.gauge(f"perf.{name}.{metric}").set(value)
             self.metrics.counter("perf.workloads_run").inc()
@@ -134,14 +146,23 @@ def compare_reports(current: dict, baseline: dict,
 
     A gate regresses when its speedup ratio drops more than ``threshold``
     (fractional) below the committed baseline.  Gates present in only one
-    report are reported as structural drift rather than silently skipped.
+    report are reported as structural drift rather than silently skipped
+    — *unless* the side missing the gate explicitly declared it under
+    ``skipped_gates`` (machine-dependent gates like
+    ``parallel_worlds.parallel_speedup`` are skipped, not faked, on
+    boxes that cannot evaluate them; the baseline and CI may legally
+    run on different core counts).
     """
     if not 0.0 <= threshold < 1.0:
         raise ValueError("threshold must be in [0, 1)")
     problems = []
     cur, base = current.get("gates", {}), baseline.get("gates", {})
+    cur_skipped = current.get("skipped_gates", {})
+    base_skipped = baseline.get("skipped_gates", {})
     for key in sorted(base):
         if key not in cur:
+            if key in cur_skipped:
+                continue  # declared unmeasurable on this machine
             problems.append(f"gate {key!r} missing from current report")
             continue
         floor = base[key] * (1.0 - threshold)
@@ -151,6 +172,8 @@ def compare_reports(current: dict, baseline: dict,
                 f"{base[key]:.3g}x (floor {floor:.3g}x at "
                 f"{threshold:.0%} tolerance)")
     for key in sorted(set(cur) - set(base)):
+        if key in base_skipped:
+            continue  # baseline machine declared it unmeasurable
         problems.append(f"gate {key!r} has no baseline entry "
                         f"(re-generate BENCH_PERF.json)")
     return problems

@@ -258,3 +258,12 @@ class LegacyDiscoveryIndex:
             if ok and (predicate is None or predicate(entry)):
                 out.append(entry)
         return out
+
+
+# -- frozen sim kernel ---------------------------------------------------------
+
+# The pre-calendar-queue discrete-event kernel (flat binary heap, per-event
+# step(), original event/process construction chain) lives in its own
+# module; re-exported here so every frozen baseline is reachable from
+# ``repro.perf.legacy``.
+from repro.perf.legacy_kernel import LegacySimulator  # noqa: E402,F401

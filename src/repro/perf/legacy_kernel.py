@@ -1,0 +1,413 @@
+"""Frozen pre-optimization simulation kernel — the perf-harness reference.
+
+This is a verbatim snapshot of the discrete-event stack
+(:mod:`repro.sim.kernel`, :mod:`repro.sim.events`,
+:mod:`repro.sim.process`) as it stood *before* the calendar-queue work:
+
+- one binary heap of ``(time, seq, event)`` tuples — ``O(log n)`` per
+  schedule and per pop on a heap sized by the entire pending horizon,
+  with no timeout coalescing (a thousand identical instrument-poll
+  timeouts are a thousand separate heap entries);
+- a ``run`` loop that pays a ``step()`` call, a try/except, and a tuple
+  unpack per event;
+- the original event/process construction chain
+  (``Timeout.__init__`` -> ``Event.__init__`` -> ``_schedule``) with no
+  inlining or local-variable hoisting.
+
+The classes are frozen *copies*, not imports of the live ones, so that
+every optimization on the live path — queue structure, drain loop, event
+construction, process resumption — shows up in the ``sim_events``
+``kernel_speedup`` ratio.  Only the pieces that shared *user code* must
+agree on are reused from the live modules: the :class:`Interrupt`
+exception (so one generator body runs under either kernel), the
+``_PENDING`` sentinel, and the control-flow exceptions.
+
+Do not "fix" or optimize this module; its slowness is the point.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.sim.events import ConditionValue, _PENDING
+from repro.sim.ids import _AMBIENT, IdSequencer, bind_ambient
+from repro.sim.kernel import EmptySchedule, StopSimulation
+from repro.sim.process import Interrupt
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+_INFINITY = float("inf")
+
+
+class LegacyEvent:
+    """Pre-PR :class:`repro.sim.events.Event`, frozen verbatim."""
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "LegacySimulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[["LegacyEvent"], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool | None = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None, *, delay: float = 0.0) -> "LegacyEvent":
+        if self._value is not _PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, *,
+             delay: float = 0.0) -> "LegacyEvent":
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not _PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    def trigger(self, event: "LegacyEvent") -> None:
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __and__(self, other: "LegacyEvent") -> "LegacyAllOf":
+        return LegacyAllOf(self.sim, [self, other])
+
+    def __or__(self, other: "LegacyEvent") -> "LegacyAnyOf":
+        return LegacyAnyOf(self.sim, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class LegacyTimeout(LegacyEvent):
+    """Pre-PR :class:`repro.sim.events.Timeout`: the full init chain."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "LegacySimulator", delay: float,
+                 value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class _LegacyCondition(LegacyEvent):
+    """Pre-PR ``_Condition`` base for all-of / any-of composition."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, sim: "LegacySimulator",
+                 events: Iterable[LegacyEvent]) -> None:
+        super().__init__(sim)
+        self._events = tuple(events)
+        self._count = 0
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise ValueError("all events must belong to the same Simulator")
+        if not self._events:
+            self.succeed(ConditionValue())
+            return
+        for ev in self._events:
+            if ev.processed:
+                self._check(ev)
+            elif ev.callbacks is not None:
+                ev.callbacks.append(self._check)
+
+    def _evaluate(self, done: int, total: int) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: LegacyEvent) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._count, len(self._events)):
+            value = ConditionValue()
+            value.events = [ev for ev in self._events
+                            if ev.processed and ev._ok]
+            self.succeed(value)
+
+
+class LegacyAllOf(_LegacyCondition):
+    __slots__ = ()
+
+    def _evaluate(self, done: int, total: int) -> bool:
+        return done == total
+
+
+class LegacyAnyOf(_LegacyCondition):
+    __slots__ = ()
+
+    def _evaluate(self, done: int, total: int) -> bool:
+        return done > 0
+
+
+class _LegacyCallbackEvent(LegacyEvent):
+    """Pre-PR ``_CallbackEvent``: resolves only when the kernel pops it."""
+
+    __slots__ = ("_deferred_value",)
+
+    def __init__(self, sim: "LegacySimulator", value: Any) -> None:
+        super().__init__(sim)
+        self._deferred_value = value
+
+    def _resolve(self) -> None:
+        self._ok = True
+        self._value = self._deferred_value
+
+
+class LegacyProcess(LegacyEvent):
+    """Pre-PR :class:`repro.sim.process.Process`: per-iteration attribute
+    reads in ``_step`` and a ``_resume`` -> ``_step`` double call per
+    resumption."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim: "LegacySimulator", generator: Generator,
+                 name: str = "") -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        self._target: Optional[LegacyEvent] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        init = LegacyEvent(sim)
+        init.callbacks.append(self._resume)
+        init._ok = True
+        init._value = None
+        sim._schedule(init, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Optional[LegacyEvent]:
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has already terminated")
+        if self is self.sim.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        ev = LegacyEvent(self.sim)
+        ev._ok = False
+        ev._value = Interrupt(cause)
+        ev._defused = True
+        ev.callbacks.append(self._resume_interrupt)
+        self.sim._schedule(ev, 0.0)
+
+    def _resume_interrupt(self, event: LegacyEvent) -> None:
+        if not self.is_alive:
+            return
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._target = None
+        self._step(event)
+
+    def _resume(self, event: LegacyEvent) -> None:
+        self._target = None
+        self._step(event)
+
+    def _step(self, event: LegacyEvent) -> None:
+        sim = self.sim
+        prev, sim._active_process = sim._active_process, self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        target = self._generator.send(event._value)
+                    else:
+                        event._defused = True
+                        target = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:
+                    self.fail(exc)
+                    return
+
+                if not isinstance(target, LegacyEvent):
+                    exc = TypeError(
+                        f"process {self.name!r} yielded {target!r}, "
+                        "which is not an Event")
+                    try:
+                        self._generator.throw(exc)
+                    except StopIteration as stop:
+                        self.succeed(stop.value)
+                        return
+                    except BaseException as err:
+                        self.fail(err)
+                        return
+                    continue
+
+                if target.callbacks is not None:
+                    target.callbacks.append(self._resume)
+                    self._target = target
+                    return
+                event = target
+        finally:
+            sim._active_process = prev
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.is_alive else "finished"
+        return f"<LegacyProcess {self.name!r} {state}>"
+
+
+class LegacySimulator:
+    """Pre-PR discrete-event simulator: flat binary heap, per-event step."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: list[tuple[float, int, LegacyEvent]] = []
+        self._seq = 0
+        self._active_process: Optional[LegacyProcess] = None
+        self.ids = IdSequencer()
+        bind_ambient(self.ids)
+        self.step_hook: Optional[Callable[[float, LegacyEvent], Any]] = None
+        self.schedule_hook: Optional[Callable[[float, LegacyEvent], Any]] = None
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[LegacyProcess]:
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> LegacyEvent:
+        return LegacyEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> LegacyTimeout:
+        return LegacyTimeout(self, delay, value)
+
+    def process(self, generator: Generator) -> LegacyProcess:
+        return LegacyProcess(self, generator)
+
+    def all_of(self, events) -> LegacyAllOf:
+        return LegacyAllOf(self, events)
+
+    def any_of(self, events) -> LegacyAnyOf:
+        return LegacyAnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: LegacyEvent, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        at = self._now + delay
+        _heappush(self._queue, (at, self._seq, event))
+        self._seq += 1
+        if self.schedule_hook is not None:
+            self.schedule_hook(at, event)
+
+    def schedule_callback(
+        self, delay: float, fn: Callable[[], Any], value: Any = None
+    ) -> LegacyEvent:
+        ev = _LegacyCallbackEvent(self, value)
+        ev.callbacks.append(lambda _ev: fn())
+        self._schedule(ev, delay)
+        return ev
+
+    def peek(self) -> float:
+        return self._queue[0][0] if self._queue else _INFINITY
+
+    def step(self) -> None:
+        """Process exactly one event from the queue (pre-PR shape)."""
+        ids = self.ids
+        if _AMBIENT.get() is not ids:
+            _AMBIENT.set(ids)
+        try:
+            self._now, _, event = _heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        if event._ok is None:
+            event._resolve()
+        if self.step_hook is not None:
+            self.step_hook(self._now, event)
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: "float | LegacyEvent | None" = None) -> Any:
+        """Pre-PR run loop: one step() call (and one heap pop) per event."""
+        stop_at = _INFINITY
+        if until is not None:
+            if isinstance(until, LegacyEvent):
+                if until.callbacks is None:
+                    if until.ok:
+                        return until.value
+                    raise until.value
+                until.callbacks.append(StopSimulation.callback)
+            else:
+                stop_at = float(until)
+                if stop_at < self._now:
+                    raise ValueError(
+                        f"until={stop_at} is in the past (now={self._now})")
+
+        queue = self._queue
+        step = self.step
+        try:
+            while queue and queue[0][0] <= stop_at:
+                step()
+        except StopSimulation as stop:
+            return stop.args[0] if stop.args else None
+        if stop_at is not _INFINITY:
+            self._now = max(self._now, stop_at)
+        if isinstance(until, LegacyEvent) and not until.triggered:
+            raise RuntimeError("simulation ended before the awaited event fired")
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LegacySimulator t={self._now:.6g} pending={len(self._queue)}>"

@@ -41,7 +41,8 @@ def main(argv=None) -> int:
     parser.add_argument("--budget", type=int, default=None,
                         help="per-world experiment budget override")
     parser.add_argument("--workers", type=int, default=None,
-                        help="worker processes (default: REPRO_WORKERS or 1; "
+                        help="worker processes (default: REPRO_WORKERS, or "
+                             "min(8, cpu_count) when unset; 1 = serial, "
                              "0 = one per CPU)")
     parser.add_argument("--verify", action="store_true",
                         help="replay serially and assert hash equality")

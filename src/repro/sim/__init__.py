@@ -1,14 +1,17 @@
 """Deterministic discrete-event simulation kernel.
 
 A compact, dependency-free engine in the spirit of SimPy: generator-based
-processes scheduled on a binary-heap event queue with a simulated clock.
-All higher layers (network, agents, instruments, data fabric) are built on
-these primitives, which keeps every AISLE experiment reproducible
-event-for-event from a single seed.
+processes scheduled on a two-band calendar queue
+(:class:`~repro.sim.calendar.CalendarQueue` — O(1) bucketed near-horizon
+band with timeout coalescing, heap fallback for the far future) with a
+simulated clock.  All higher layers (network, agents, instruments, data
+fabric) are built on these primitives, which keeps every AISLE
+experiment reproducible event-for-event from a single seed.
 
 Public surface:
 
 - :class:`~repro.sim.kernel.Simulator` — the event loop and clock.
+- :class:`~repro.sim.calendar.CalendarQueue` — the scheduling structure.
 - :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout`,
   :class:`~repro.sim.events.AllOf`, :class:`~repro.sim.events.AnyOf`.
 - :class:`~repro.sim.process.Process`, :class:`~repro.sim.process.Interrupt`.
@@ -18,6 +21,7 @@ Public surface:
 - :class:`~repro.sim.rng.RngRegistry` — named deterministic random streams.
 """
 
+from repro.sim.calendar import CalendarQueue
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.ids import IdSequencer, ambient_ids, next_id, next_label
 from repro.sim.kernel import Simulator, StopSimulation
@@ -28,6 +32,7 @@ from repro.sim.rng import RngRegistry
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Event",
     "FilterStore",
     "IdSequencer",

@@ -1,23 +1,33 @@
 """The discrete-event simulation loop.
 
-The :class:`Simulator` owns the simulated clock and a binary heap of
-scheduled events.  Ties at the same timestamp break deterministically on a
-monotonically increasing sequence number, so two runs with the same seed
-are identical event-for-event (a requirement stated in DESIGN.md for every
-AISLE experiment).
+The :class:`Simulator` owns the simulated clock and a two-band
+:class:`~repro.sim.calendar.CalendarQueue` of scheduled events:
+near-horizon events live in O(1)-append time buckets (simultaneous
+timeouts coalesce into one bucket), far-future events in a heap fallback
+that migrates forward in batches.  Ties at the same timestamp break
+deterministically on a monotonically increasing sequence number, so two
+runs with the same seed are identical event-for-event (a requirement
+stated in DESIGN.md for every AISLE experiment) — and byte-identical to
+the retired binary-heap kernel, whose frozen copy
+(:mod:`repro.perf.legacy_kernel`) the perf harness races this one
+against.
+
+:meth:`Simulator.run` is the hot loop of every experiment, so it drains
+bucket batches inline instead of calling :meth:`step` per event: the
+clock advances once per bucket, locals are hoisted, and the hook checks
+are fused into the drain.  :meth:`step` remains the sanctioned way to
+process exactly one event.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappush as _heappush
 from typing import Any, Callable, Generator, Optional
 
+from repro.sim.calendar import CalendarQueue
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.ids import _AMBIENT, IdSequencer, bind_ambient
 from repro.sim.process import Process
-
-_heappush = heapq.heappush
-_heappop = heapq.heappop
 
 
 class _CallbackEvent(Event):
@@ -55,6 +65,10 @@ class EmptySchedule(Exception):
 
 _INFINITY = float("inf")
 
+# Hoisted allocator for the Simulator.timeout fast path: skips the
+# type-call machinery (one C call instead of type.__call__ -> __init__).
+_new_timeout = Timeout.__new__
+
 
 class Simulator:
     """Discrete-event simulator with a floating-point clock.
@@ -79,7 +93,7 @@ class Simulator:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
-        self._queue: list[tuple[float, int, Event]] = []
+        self._queue = CalendarQueue(start=float(start))
         self._seq = 0
         self._active_process: Optional[Process] = None
         # Per-world id streams (see repro.sim.ids): ids allocated by this
@@ -113,8 +127,46 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+        """Create an event that fires ``delay`` time units from now.
+
+        This is the kernel's hottest allocation site (every instrument
+        poll, sampling interval, and deadline is a timeout), so the
+        whole chain — slot writes, ``(time, seq)`` assignment, and the
+        near-band bucket insert — runs in this one frame.  The insert
+        mirrors :meth:`CalendarQueue.push` exactly; that method stays
+        the canonical implementation, and the equivalence tests in
+        ``tests/sim/test_calendar.py`` hold the two paths together.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        if delay.__class__ is not float:
+            delay = float(delay)
+        ev = _new_timeout(Timeout)
+        ev.sim = self
+        ev.callbacks = []
+        ev._ok = True
+        ev._value = value
+        ev._defused = False
+        ev.delay = delay
+        at = self._now + delay
+        queue = self._queue
+        if at < queue._horizon:
+            bucket = queue._buckets.get(at)
+            if bucket is None:
+                queue._buckets[at] = [ev]
+                _heappush(queue._times, at)
+                queue.buckets_opened += 1
+            else:
+                bucket.append(ev)
+                queue.coalesced += 1
+        else:
+            _heappush(queue._far, (at, self._seq, ev))
+            queue.far_deferred += 1
+        queue._size += 1
+        self._seq += 1
+        if self.schedule_hook is not None:
+            self.schedule_hook(at, ev)
+        return ev
 
     def process(self, generator: Generator) -> Process:
         """Spawn ``generator`` as a new simulation process."""
@@ -134,7 +186,7 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         at = self._now + delay
-        _heappush(self._queue, (at, self._seq, event))
+        self._queue.push(at, self._seq, event)
         self._seq += 1
         if self.schedule_hook is not None:
             self.schedule_hook(at, event)
@@ -154,20 +206,25 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else _INFINITY
+        return self._queue.next_time()
+
+    def queue_stats(self) -> dict:
+        """Calendar-queue structure counters (coalescing, far band)."""
+        return self._queue.stats()
 
     def step(self) -> None:
         """Process exactly one event from the queue."""
         # Inlined bind_ambient: the rebind is skipped when the ambient
-        # world is already this one — the common case inside run(), where
-        # it would otherwise cost a function call per event.
+        # world is already this one — the common case, where it would
+        # otherwise cost a function call per event.
         ids = self.ids
         if _AMBIENT.get() is not ids:
             _AMBIENT.set(ids)
-        try:
-            self._now, _, event = _heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        queue = self._queue
+        event = queue.pop_due(_INFINITY)
+        if event is None:
+            raise EmptySchedule()
+        self._now = queue._active_time
 
         if event._ok is None:
             # Only _CallbackEvent is ever scheduled untriggered: it
@@ -212,13 +269,49 @@ class Simulator:
                     raise ValueError(
                         f"until={stop_at} is in the past (now={self._now})")
 
-        # Hot loop: hoist the queue and bound method to locals so each
-        # iteration costs two lookups instead of five attribute chases.
+        # Hot loop, fused: the outer loop fetches the next due bucket
+        # (one clock write and one deadline check per *bucket*), the
+        # inner loop drains it with plain list indexing (no step() call,
+        # no heap op, no tuple unpack per event).  Everything the loop
+        # touches more than once is hoisted to a local.
         queue = self._queue
-        step = self.step
+        pop_due = queue.pop_due
+        ids = self.ids
+        ambient_get = _AMBIENT.get
+        ambient_set = _AMBIENT.set
         try:
-            while queue and queue[0][0] <= stop_at:
-                step()
+            while True:
+                event = pop_due(stop_at)
+                if event is None:
+                    break
+                now = self._now = queue._active_time
+                while True:
+                    if ambient_get() is not ids:
+                        ambient_set(ids)
+                    if event._ok is None:
+                        event._resolve()
+                    hook = self.step_hook
+                    if hook is not None:
+                        hook(now, event)
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    # Same-bucket fast path: more events at this exact
+                    # time (including ones appended during the drain).
+                    # The time guard covers re-entrant step() calls from
+                    # callbacks, which may retire or swap the bucket.
+                    bucket = queue._active
+                    if bucket is None or queue._active_time != now:
+                        break
+                    i = queue._active_idx
+                    if i >= len(bucket):
+                        break
+                    queue._active_idx = i + 1
+                    queue._size -= 1
+                    event = bucket[i]
         except StopSimulation as stop:
             return stop.args[0] if stop.args else None
         if stop_at is not _INFINITY:

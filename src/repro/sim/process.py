@@ -103,20 +103,27 @@ class Process(Event):
         self._step(event)
 
     def _resume(self, event: Event) -> None:
-        self._target = None
-        self._step(event)
+        """Deliver ``event`` and drive the generator to its next yield.
 
-    def _step(self, event: Event) -> None:
+        This is the callback the kernel invokes once per process wakeup,
+        so the body lives here directly (no ``_resume`` -> ``_step``
+        double call) and the generator's ``send``/``throw`` are bound
+        once per wakeup instead of re-read from ``self`` per iteration.
+        """
+        self._target = None
         sim = self.sim
         prev, sim._active_process = sim._active_process, self
+        generator = self._generator
+        send = generator.send
+        throw = generator.throw
         try:
             while True:
                 try:
                     if event._ok:
-                        target = self._generator.send(event._value)
+                        target = send(event._value)
                     else:
                         event._defused = True
-                        target = self._generator.throw(event._value)
+                        target = throw(event._value)
                 except StopIteration as stop:
                     self.succeed(stop.value)
                     return
@@ -129,7 +136,7 @@ class Process(Event):
                         f"process {self.name!r} yielded {target!r}, "
                         "which is not an Event")
                     try:
-                        self._generator.throw(exc)
+                        throw(exc)
                     except StopIteration as stop:
                         self.succeed(stop.value)
                         return
@@ -147,6 +154,10 @@ class Process(Event):
                 event = target
         finally:
             sim._active_process = prev
+
+    # Historical name for the resumption body; kept so callers (and the
+    # interrupt path above) that address ``_step`` keep working.
+    _step = _resume
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self.is_alive else "finished"

@@ -30,8 +30,14 @@ def pid_world(seed, config):
 
 # -- resolve_workers -----------------------------------------------------------
 
-def test_resolve_workers_default_is_serial(monkeypatch):
+def test_resolve_workers_default_is_parallel_capped(monkeypatch):
+    # Unset env -> real parallelism by default, capped at 8 workers.
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert resolve_workers(None) == min(8, os.cpu_count() or 1)
+
+
+def test_resolve_workers_env_one_means_serial(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "1")
     assert resolve_workers(None) == 1
 
 
@@ -171,6 +177,51 @@ def test_empty_specs():
     assert isinstance(batch, WorldBatch)
     assert len(batch) == 0
     assert batch.values == []
+
+
+# -- warm persistent pool ------------------------------------------------------
+
+def test_pool_persists_across_batches():
+    metrics = MetricsRegistry()
+    specs = [WorldSpec(seed=s, entrypoint=square_world) for s in range(4)]
+    with WorldRunner(2, metrics=metrics) as runner:
+        first = runner.run(specs)
+        second = runner.run(specs)
+    assert first.hashes == second.hashes
+    # One fork, then reuse: the second batch must not pay startup again.
+    assert metrics.counter("scale.pools_forked").value == 1
+    assert metrics.counter("scale.pool_reuses").value >= 1
+
+
+def test_warm_preforks_pool_and_counts_one_fork():
+    metrics = MetricsRegistry()
+    runner = WorldRunner(2, metrics=metrics).warm()
+    try:
+        assert metrics.counter("scale.pools_forked").value == 1
+        runner.run([WorldSpec(seed=s, entrypoint=square_world)
+                    for s in range(4)])
+        assert metrics.counter("scale.pools_forked").value == 1
+        assert metrics.counter("scale.pool_reuses").value >= 1
+    finally:
+        runner.close()
+    assert runner._pool is None
+
+
+def test_warm_is_noop_for_serial_runner():
+    metrics = MetricsRegistry()
+    runner = WorldRunner(1, metrics=metrics).warm()
+    assert runner._pool is None
+    assert metrics.counter("scale.pools_forked").value == 0
+    runner.close()  # harmless with no pool
+
+
+def test_chunked_dispatch_reports_chunksize():
+    metrics = MetricsRegistry()
+    specs = [WorldSpec(seed=s, entrypoint=square_world) for s in range(16)]
+    with WorldRunner(2, metrics=metrics) as runner:
+        batch = runner.run(specs)
+    assert [r.seed for r in batch] == list(range(16))  # spec order kept
+    assert metrics.gauge("scale.dispatch_chunksize").value == 2  # 16//(2*4)
 
 
 # -- the CLI / parallel-equivalence shape --------------------------------------

@@ -1,0 +1,252 @@
+"""Calendar queue vs binary heap: pop-order and kernel equivalence.
+
+The calendar queue's whole value is being faster while *byte-identical*
+in behavior to the binary heap it replaced.  These tests hold that line
+from two directions:
+
+- structure-level: randomized seeded push/pop schedules through
+  :class:`~repro.sim.calendar.CalendarQueue` and ``heapq`` must pop in
+  the same global ``(time, seq)`` order, including same-time ties and
+  mid-stream ``stop_at`` boundaries;
+- kernel-level: the same mixed program (coalesced pollers, random-delay
+  chains, interrupt-cancelled timeouts, ``schedule_callback`` deferred
+  resolution) run on the live :class:`~repro.sim.kernel.Simulator` and
+  on the frozen :class:`~repro.perf.legacy_kernel.LegacySimulator` must
+  produce identical event traces and identical decision hashes.
+"""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.perf.legacy_kernel import LegacySimulator
+from repro.scale.hashing import decision_hash
+from repro.sim.calendar import CalendarQueue
+from repro.sim.kernel import Simulator
+from repro.sim.process import Interrupt
+
+_INF = float("inf")
+
+
+# -- structure-level property test ---------------------------------------------
+
+
+def _random_schedule(seed: int, n_ops: int = 2000):
+    """A seeded stream of (push-time, stop-at) decisions with heavy ties."""
+    rng = np.random.default_rng(seed)
+    # Quantized times force many exact collisions (coalescing buckets);
+    # occasional large offsets exercise the far band and migrations.
+    times = np.round(rng.uniform(0.0, 8.0, size=n_ops), 1)
+    far = rng.uniform(50.0, 500.0, size=n_ops)
+    use_far = rng.random(n_ops) < 0.1
+    return np.where(use_far, far, times), rng
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 42, 1234])
+def test_calendar_matches_heap_pop_order(seed):
+    offsets, rng = _random_schedule(seed)
+    queue = CalendarQueue(start=0.0)
+    heap: list = []
+    seq = 0
+    now = 0.0
+    popped_cal: list = []
+    popped_heap: list = []
+
+    def push(at):
+        nonlocal seq
+        queue.push(at, seq, ("ev", seq))
+        heapq.heappush(heap, (at, seq, ("ev", seq)))
+        seq += 1
+
+    i = 0
+    while i < len(offsets) or heap:
+        # Push a random-sized burst (bursts at one clock value produce
+        # same-time ties whose seq order must be preserved).
+        burst = int(rng.integers(0, 6))
+        for _ in range(burst):
+            if i < len(offsets):
+                push(now + float(offsets[i]))
+                i += 1
+        # Drain a few events from both structures and advance the clock.
+        for _ in range(int(rng.integers(1, 8))):
+            ev = queue.pop_due(_INF)
+            if ev is None:
+                assert not heap
+                break
+            t, s, hev = heapq.heappop(heap)
+            popped_cal.append((queue._active_time, ev))
+            popped_heap.append((t, hev))
+            now = t
+
+    assert not heap and len(queue) == 0
+    assert popped_cal == popped_heap
+
+
+@pytest.mark.parametrize("seed", [3, 99])
+def test_calendar_respects_stop_at_boundaries(seed):
+    rng = np.random.default_rng(seed)
+    queue = CalendarQueue(start=0.0)
+    heap: list = []
+    entries = sorted(
+        (round(float(t), 1), s)
+        for s, t in enumerate(rng.uniform(0.0, 20.0, size=500)))
+    for t, s in sorted(entries, key=lambda e: e[1]):  # push in seq order
+        queue.push(t, s, (t, s))
+        heapq.heappush(heap, (t, s))
+    for stop_at in (0.0, 3.3, 3.3, 7.05, 19.9, _INF):
+        while True:
+            ev = queue.pop_due(stop_at)
+            if ev is None:
+                # Nothing at or before stop_at may remain in the heap.
+                assert not heap or heap[0][0] > stop_at
+                break
+            assert ev == heapq.heappop(heap)
+    assert not heap and len(queue) == 0
+
+
+def test_far_band_defers_and_migrates_in_order():
+    queue = CalendarQueue(start=0.0, span=1.0)
+    queue.push(500.0, 0, "far-a")     # beyond horizon -> far band
+    queue.push(500.0, 1, "far-b")     # same-time tie in the far band
+    queue.push(0.5, 2, "near")
+    assert queue.stats()["far_deferred"] == 2
+    assert queue.next_time() == 0.5
+    assert queue.pop_due(_INF) == "near"
+    # Near band drained: the next pop advances the horizon and migrates.
+    assert queue.pop_due(_INF) == "far-a"
+    assert queue.pop_due(_INF) == "far-b"
+    assert queue.stats()["migrated"] == 2
+    assert queue.pop_due(_INF) is None
+
+
+def test_span_doubles_on_migration_but_never_reorders():
+    queue = CalendarQueue(start=0.0, span=1.0)
+    span0 = queue._span
+    queue.push(10.0, 0, "a")
+    assert queue.pop_due(_INF) == "a"
+    assert queue._span == span0 * 2.0
+
+
+def test_late_earlier_push_not_shadowed_by_pending_bucket():
+    # Regression guard: pop_due(stop_at) must not activate a bucket
+    # beyond stop_at, or an earlier event scheduled afterwards would be
+    # shadowed behind the pending active bucket.
+    queue = CalendarQueue(start=0.0)
+    queue.push(5.0, 0, "later")
+    assert queue.pop_due(2.0) is None
+    queue.push(1.0, 1, "earlier")
+    assert queue.pop_due(2.0) == "earlier"
+    assert queue.pop_due(_INF) == "later"
+
+
+def test_coalescing_counts_shared_buckets():
+    queue = CalendarQueue(start=0.0)
+    for s in range(100):
+        queue.push(0.25, s, s)
+    stats = queue.stats()
+    assert stats["coalesced"] == 99      # one bucket, 99 shared appends
+    assert stats["buckets_opened"] == 1
+    assert [queue.pop_due(_INF) for _ in range(100)] == list(range(100))
+
+
+# -- kernel-level equivalence --------------------------------------------------
+
+
+def _norm_kind(event) -> str:
+    """Class name normalized across live and frozen-legacy kernels."""
+    return type(event).__name__.replace("Legacy", "").lstrip("_")
+
+
+def _mixed_program(sim, seed: int):
+    """Build the equivalence workload on either kernel; returns the log."""
+    rng = np.random.default_rng(seed)
+    log: list = []
+
+    def poller(name, period, samples):
+        for k in range(samples):
+            yield sim.timeout(period)
+            log.append(("poll", name, k, sim.now))
+
+    for p in range(4):  # identical periods -> same-time ties every tick
+        sim.process(poller(p, 0.5, 8))
+
+    delays = np.round(rng.uniform(0.0, 3.0, size=(5, 10)), 3)
+
+    def chain(row):
+        total = 0.0
+        for d in row:
+            yield sim.timeout(float(d))
+            total += float(d)
+        return total
+
+    chains = [sim.process(chain(delays[i])) for i in range(5)]
+
+    def sleeper(name):
+        try:
+            yield sim.timeout(100.0)
+            log.append(("overslept", name))
+        except Interrupt as exc:
+            log.append(("interrupted", name, str(exc.cause), sim.now))
+            yield sim.timeout(0.5)
+            log.append(("recovered", name, sim.now))
+
+    victims = [sim.process(sleeper(i)) for i in range(3)]
+
+    def interrupter():
+        yield sim.timeout(2.0)
+        for i, victim in enumerate(victims):
+            if victim.is_alive:
+                victim.interrupt(cause=f"preempt-{i}")
+            yield sim.timeout(0.0)  # zero-delay: same-time tie storm
+
+    sim.process(interrupter())
+
+    for d in (0.0, 1.0, 1.0, 2.5):  # duplicate delays share a bucket
+        ev = sim.schedule_callback(d, lambda d=d: log.append(("cb", d)))
+        assert not ev.triggered  # deferred resolution: pending until fired
+
+    def finisher():
+        for proc in chains:
+            value = yield proc
+            log.append(("chain-done", round(value, 3)))
+
+    sim.process(finisher())
+    return log
+
+
+def _run_traced(sim_cls, seed: int):
+    sim = sim_cls()
+    trace: list = []
+    sim.step_hook = lambda now, event: trace.append((now, _norm_kind(event)))
+    log = _mixed_program(sim, seed)
+    sim.run()
+    return trace, log, sim.now
+
+
+@pytest.mark.parametrize("seed", [0, 5, 2024])
+def test_kernel_equivalence_with_frozen_legacy(seed):
+    fast_trace, fast_log, fast_end = _run_traced(Simulator, seed)
+    legacy_trace, legacy_log, legacy_end = _run_traced(LegacySimulator, seed)
+    assert fast_end == legacy_end
+    assert fast_trace == legacy_trace       # event-for-event, tie-for-tie
+    assert fast_log == legacy_log           # user-visible decisions
+    assert (decision_hash([fast_trace, fast_log])
+            == decision_hash([legacy_trace, legacy_log]))
+
+
+def test_kernel_equivalence_across_run_until_boundaries():
+    def run_windows(sim_cls):
+        sim = sim_cls()
+        trace: list = []
+        sim.step_hook = lambda now, event: trace.append((now, _norm_kind(event)))
+        log = _mixed_program(sim, seed=7)
+        for until in (0.75, 2.0, 2.0, 6.5):  # repeated + mid-bucket stops
+            sim.run(until=until)
+            trace.append(("window", sim.now))
+        sim.run()
+        return trace, log
+
+    fast = run_windows(Simulator)
+    legacy = run_windows(LegacySimulator)
+    assert fast == legacy
