@@ -34,7 +34,7 @@ def _landscape(site: str) -> QuantumDotLandscape:
 
 
 def _traditional():
-    fed = FederationManager(seed=31, n_sites=2, objective_key="plqy")
+    fed = FederationManager(seed=23, n_sites=2, objective_key="plqy")
     lab = fed.add_lab("site-0", _landscape, synthesis_kind="batch")
     lab.evaluator.target = TARGET
     manual = fed.make_manual(lab, batch_size=6,
@@ -46,7 +46,7 @@ def _traditional():
 
 
 def _autonomous():
-    fed = FederationManager(seed=31, n_sites=2, objective_key="plqy")
+    fed = FederationManager(seed=23, n_sites=2, objective_key="plqy")
     lab = fed.add_lab("site-0", _landscape, synthesis_kind="flow")
     lab.evaluator.target = TARGET
     orch = fed.make_orchestrator(lab, verified=True)
@@ -57,7 +57,7 @@ def _autonomous():
 
 
 def _federated():
-    fed = FederationManager(seed=31, n_sites=3, objective_key="plqy")
+    fed = FederationManager(seed=23, n_sites=3, objective_key="plqy")
     donors = [fed.add_lab(f"site-{i}", _landscape) for i in (0, 1)]
     joiner = fed.add_lab("site-2", _landscape)
     kb = fed.make_knowledge_base(policy="corrected")

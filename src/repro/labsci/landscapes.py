@@ -7,6 +7,34 @@ discrete-continuous" structure the paper highlights for real SDL hardware
 response peaks in that space, seeded per instance, yielding smooth
 multi-modal objectives whose global optimum is known to the test harness
 but not to the optimizer.
+
+Batch fast path and the canonical draw-order contract
+-----------------------------------------------------
+
+Campaign inner loops (``BayesianOptimizer.ask``, the oracle in
+:meth:`SyntheticLandscape.best_estimate`, instrument sweeps) touch the
+space thousands of times per decision, so the space carries a vectorized
+*raw-matrix* representation next to the per-point dict one:
+
+- a **raw matrix** is ``(n, len(space))`` float64, one column per
+  declared dimension — continuous columns hold raw (un-normalized)
+  values, discrete columns hold choice *indices*;
+- :meth:`ParameterSpace.sample_batch` draws such a matrix with **one
+  vectorized RNG call per dimension, in declared dimension order**
+  (continuous: ``rng.uniform(low, high, size=n)``; discrete:
+  ``rng.integers(n_choices, size=n)``).  This per-dim column draw order
+  is the *canonical draw-order contract* for batched sampling: any
+  consumer that wants to reproduce a batched draw stream must consume
+  the generator in exactly this order.  It deliberately differs from
+  the scalar :meth:`sample` stream (which interleaves dims per point) —
+  the two agree in distribution (per-dim marginals are identical, and
+  the ``bo_ask`` perf workload KS-checks that), not in the exact
+  variates, which is why seeded decision hashes moved exactly once when
+  the batch path landed (see DESIGN.md);
+- :meth:`encode_batch` (from dicts) and :meth:`encode_raw_batch` (from
+  a raw matrix) produce the surrogate encoding bit-identically to
+  row-wise :meth:`encode`; :meth:`decode_batch` turns raw rows back
+  into parameter dicts.
 """
 
 from __future__ import annotations
@@ -59,12 +87,19 @@ class DiscreteDim:
             raise ValueError(f"{self.name}: need at least 2 choices")
         if len(set(self.choices)) != len(self.choices):
             raise ValueError(f"{self.name}: duplicate choices")
+        # O(1) choice -> index lookups on the batch-encode hot path
+        # (object.__setattr__ because the dataclass is frozen).
+        object.__setattr__(self, "_choice_index",
+                           {c: i for i, c in enumerate(self.choices)})
 
     def contains(self, value: Any) -> bool:
         return value in self.choices
 
     def index(self, value: str) -> int:
-        return self.choices.index(value)
+        try:
+            return self._choice_index[value]  # type: ignore[attr-defined]
+        except KeyError:
+            raise ValueError(f"{value!r} is not in {self.name}") from None
 
 
 Dim = "ContinuousDim | DiscreteDim"
@@ -80,6 +115,18 @@ class ParameterSpace:
         self.dims: tuple[Any, ...] = tuple(dims)
         self.continuous = tuple(d for d in dims if isinstance(d, ContinuousDim))
         self.discrete = tuple(d for d in dims if isinstance(d, DiscreteDim))
+        self._by_name: dict[str, Any] = {d.name: d for d in self.dims}
+        # Per-dim (start, width) column spans in the encoded vector, in
+        # declared order, so batch encoders scatter without re-deriving
+        # offsets per row.
+        spans: list[tuple[int, int]] = []
+        offset = 0
+        for d in self.dims:
+            width = 1 if isinstance(d, ContinuousDim) else len(d.choices)
+            spans.append((offset, width))
+            offset += width
+        self._enc_spans: tuple[tuple[int, int], ...] = tuple(spans)
+        self._encoded_size = offset
 
     def __iter__(self):
         return iter(self.dims)
@@ -88,10 +135,10 @@ class ParameterSpace:
         return len(self.dims)
 
     def dim(self, name: str) -> Any:
-        for d in self.dims:
-            if d.name == name:
-                return d
-        raise KeyError(name)
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(name) from None
 
     # -- validation ------------------------------------------------------------
 
@@ -119,7 +166,12 @@ class ParameterSpace:
     # -- sampling and counting -------------------------------------------------------
 
     def sample(self, rng: np.random.Generator) -> dict[str, Any]:
-        """Uniform random point in the space."""
+        """Uniform random point in the space (scalar path).
+
+        Consumes the generator one variate per dimension per point; the
+        batched :meth:`sample_batch` deliberately uses a different (per-dim
+        column) consumption order — see the module docstring.
+        """
         out: dict[str, Any] = {}
         for d in self.dims:
             if isinstance(d, ContinuousDim):
@@ -127,6 +179,50 @@ class ParameterSpace:
             else:
                 out[d.name] = str(rng.choice(list(d.choices)))
         return out
+
+    # -- batched raw-matrix fast path ----------------------------------------------
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` uniform points as a raw ``(n, len(self))`` matrix.
+
+        One vectorized RNG call per dimension, in declared dim order (the
+        canonical draw-order contract): continuous dims fill their column
+        with ``rng.uniform(low, high, size=n)``, discrete dims with
+        ``rng.integers(n_choices, size=n)`` choice indices.  Per-dim
+        marginals match the scalar :meth:`sample`; the exact variate
+        stream does not (the ``bo_ask`` perf workload witnesses the
+        distributional agreement).
+        """
+        raw = np.empty((n, len(self.dims)), dtype=np.float64)
+        for j, d in enumerate(self.dims):
+            if isinstance(d, ContinuousDim):
+                raw[:, j] = rng.uniform(d.low, d.high, size=n)
+            else:
+                raw[:, j] = rng.integers(0, len(d.choices), size=n)
+        return raw
+
+    def decode_batch(self, raw: np.ndarray) -> list[dict[str, Any]]:
+        """Raw matrix rows back into parameter dicts (declared key order)."""
+        raw = np.atleast_2d(np.asarray(raw, dtype=np.float64))
+        columns: list[list[Any]] = []
+        for j, d in enumerate(self.dims):
+            if isinstance(d, ContinuousDim):
+                columns.append([float(v) for v in raw[:, j]])
+            else:
+                choices = d.choices
+                columns.append([choices[int(v)] for v in raw[:, j]])
+        names = [d.name for d in self.dims]
+        return [dict(zip(names, point)) for point in zip(*columns)]
+
+    def raw_point(self, params: Mapping[str, Any]) -> np.ndarray:
+        """One parameter dict as a raw row (continuous values + choice indices)."""
+        row = np.empty(len(self.dims), dtype=np.float64)
+        for j, d in enumerate(self.dims):
+            if isinstance(d, ContinuousDim):
+                row[j] = float(params[d.name])
+            else:
+                row[j] = d.index(params[d.name])
+        return row
 
     def n_conditions(self, continuous_resolution: int = 100) -> float:
         """Size of the condition space at a given continuous resolution.
@@ -154,15 +250,66 @@ class ParameterSpace:
                 parts.extend(onehot)
         return np.asarray(parts, dtype=np.float64)
 
+    def encode_batch(self, params_seq: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Encode many parameter dicts at once: ``(n, encoded_size)``.
+
+        Bit-identical to stacking row-wise :meth:`encode` calls — the
+        per-column arithmetic is the same IEEE operation sequence.
+        """
+        n = len(params_seq)
+        X = np.zeros((n, self._encoded_size), dtype=np.float64)
+        for d, (start, width) in zip(self.dims, self._enc_spans):
+            name = d.name
+            if isinstance(d, ContinuousDim):
+                col = np.fromiter((float(p[name]) for p in params_seq),
+                                  dtype=np.float64, count=n)
+                X[:, start] = (col - d.low) / (d.high - d.low)
+            else:
+                index = d.index
+                idx = np.fromiter((index(p[name]) for p in params_seq),
+                                  dtype=np.intp, count=n)
+                X[np.arange(n), start + idx] = 1.0
+        return X
+
+    def encode_raw_batch(self, raw: np.ndarray) -> np.ndarray:
+        """Encode a raw ``(n, len(self))`` matrix without building dicts.
+
+        The fully vectorized twin of :meth:`encode_batch`; produces the
+        same matrix :meth:`encode` would for the decoded rows.
+        """
+        raw = np.atleast_2d(np.asarray(raw, dtype=np.float64))
+        n = raw.shape[0]
+        X = np.zeros((n, self._encoded_size), dtype=np.float64)
+        for j, (d, (start, width)) in enumerate(zip(self.dims,
+                                                    self._enc_spans)):
+            if isinstance(d, ContinuousDim):
+                X[:, start] = (raw[:, j] - d.low) / (d.high - d.low)
+            else:
+                X[np.arange(n), start + raw[:, j].astype(np.intp)] = 1.0
+        return X
+
     @property
     def encoded_size(self) -> int:
-        return sum(1 if isinstance(d, ContinuousDim) else len(d.choices)
-                   for d in self.dims)
+        return self._encoded_size
 
     def continuous_vector(self, params: Mapping[str, Any]) -> np.ndarray:
         """Just the normalized continuous coordinates (for per-category GPs)."""
         return np.asarray([d.normalize(params[d.name])
                            for d in self.continuous])
+
+    def continuous_matrix(
+            self, params_seq: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Normalized continuous coordinates for many points at once.
+
+        Row ``i`` equals ``continuous_vector(params_seq[i])`` bit-for-bit.
+        """
+        n = len(params_seq)
+        X = np.empty((n, len(self.continuous)), dtype=np.float64)
+        for j, d in enumerate(self.continuous):
+            col = np.fromiter((float(p[d.name]) for p in params_seq),
+                              dtype=np.float64, count=n)
+            X[:, j] = (col - d.low) / (d.high - d.low)
+        return X
 
     def discrete_key(self, params: Mapping[str, Any]) -> tuple[str, ...]:
         """The tuple of discrete choices (identifies a continuous subspace)."""
@@ -200,10 +347,29 @@ class Landscape:
         """True (noise-free) properties at ``params``."""
         raise NotImplementedError
 
+    def evaluate_batch(
+            self, params_seq: Sequence[Mapping[str, Any]],
+    ) -> dict[str, np.ndarray]:
+        """Columnar truth for many points: property name -> ``(n,)`` array.
+
+        The base implementation loops :meth:`evaluate`; vectorized
+        landscapes override it.  Either way ``evaluate_batch(ps)[k][i] ==
+        evaluate(ps[i])[k]``.
+        """
+        rows = [self.evaluate(p) for p in params_seq]
+        return {name: np.asarray([r[name] for r in rows], dtype=np.float64)
+                for name in self.properties}
+
     def objective_value(self, params: Mapping[str, Any]) -> float:
         """The optimization objective (already sign-adjusted: higher=better)."""
         value = self.evaluate(params)[self.objective]
         return value if self.maximize else -value
+
+    def objective_batch(
+            self, params_seq: Sequence[Mapping[str, Any]]) -> np.ndarray:
+        """Sign-adjusted objective for many points at once."""
+        values = self.evaluate_batch(params_seq)[self.objective]
+        return values if self.maximize else -values
 
 
 class SyntheticLandscape(Landscape):
@@ -272,6 +438,43 @@ class SyntheticLandscape(Landscape):
         lo, hi = self.output_range
         return {"response": lo + response * (hi - lo)}
 
+    def _response_batch(self, keys: Sequence[tuple[str, ...]],
+                        Xc: np.ndarray) -> np.ndarray:
+        """Raw (unscaled) responses for normalized continuous rows ``Xc``.
+
+        Rows are grouped by discrete key so each combo's peak set is
+        fetched once and its Gaussian mixture evaluated for the whole
+        group in one broadcast — the same reductions, in the same order,
+        as the scalar :meth:`evaluate`, so results are bit-identical.
+        """
+        n = len(keys)
+        if Xc.shape[1] == 0:
+            Xc = np.zeros((n, 1))
+        response = np.empty(n, dtype=np.float64)
+        groups: dict[tuple[str, ...], list[int]] = {}
+        for i, key in enumerate(keys):
+            groups.setdefault(key, []).append(i)
+        for key, rows in groups.items():
+            peaks = self._combo_peaks(key)
+            idx = np.asarray(rows, dtype=np.intp)
+            diff = Xc[idx][:, None, :] - peaks["centers"][None, :, :]
+            dist2 = np.sum(diff ** 2, axis=2)
+            response[idx] = np.sum(
+                peaks["heights"]
+                * np.exp(-dist2 / (2 * peaks["widths"] ** 2)), axis=1)
+        return response
+
+    def evaluate_batch(
+            self, params_seq: Sequence[Mapping[str, Any]],
+    ) -> dict[str, np.ndarray]:
+        for p in params_seq:
+            self.space.validate(p)
+        keys = [self.space.discrete_key(p) for p in params_seq]
+        response = self._response_batch(
+            keys, self.space.continuous_matrix(params_seq))
+        lo, hi = self.output_range
+        return {"response": lo + response * (hi - lo)}
+
     # -- oracle helpers (test/benchmark side only) ------------------------------------
 
     def best_estimate(self, n_random: int = 20_000,
@@ -283,26 +486,33 @@ class SyntheticLandscape(Landscape):
         if self._best is not None:
             return self._best
         rng = self._rngs.fresh(f"{self.name}/oracle")
-        best: list[tuple[float, dict[str, Any]]] = []
-        for _ in range(n_random):
-            p = self.space.sample(rng)
-            best.append((self.objective_value(p), p))
-        best.sort(key=lambda t: -t[0])
-        top_value, top_params = best[0]
-        # Local refinement around the best few by coordinate perturbation.
-        for value, params in best[:refine_top]:
-            current_v, current_p = value, dict(params)
-            for scale in (0.05, 0.01, 0.002):
-                for _ in range(60):
-                    cand = dict(current_p)
-                    for dim in self.space.continuous:
-                        span = (dim.high - dim.low) * scale
-                        cand[dim.name] = dim.clip(
-                            cand[dim.name] + rng.normal(0.0, span))
-                    v = self.objective_value(cand)
-                    if v > current_v:
-                        current_v, current_p = v, cand
-            if current_v > top_value:
-                top_value, top_params = current_v, current_p
-        self._best = (top_value, top_params)
+        space = self.space
+        raw = space.sample_batch(rng, n_random)
+        values = self.objective_batch(space.decode_batch(raw))
+        order = np.argsort(-values, kind="stable")[:refine_top]
+        # Local refinement of the best few by coordinate perturbation,
+        # all candidates perturbed and re-evaluated in lockstep batches.
+        cand_raw = raw[order].copy()
+        cand_vals = values[order].copy()
+        cont_cols = np.asarray(
+            [j for j, d in enumerate(space.dims)
+             if isinstance(d, ContinuousDim)], dtype=np.intp)
+        lows = np.asarray([d.low for d in space.continuous])
+        highs = np.asarray([d.high for d in space.continuous])
+        for scale in (0.05, 0.01, 0.002):
+            spans = (highs - lows) * scale
+            for _ in range(60):
+                prop = cand_raw.copy()
+                if cont_cols.size:
+                    step = rng.normal(0.0, 1.0,
+                                      size=(len(prop), cont_cols.size))
+                    prop[:, cont_cols] = np.clip(
+                        prop[:, cont_cols] + step * spans, lows, highs)
+                vals = self.objective_batch(space.decode_batch(prop))
+                improved = vals > cand_vals
+                cand_raw[improved] = prop[improved]
+                cand_vals[improved] = vals[improved]
+        top = int(np.argmax(cand_vals))
+        self._best = (float(cand_vals[top]),
+                      space.decode_batch(cand_raw[top])[0])
         return self._best

@@ -1,15 +1,28 @@
-"""Acquisition functions for Bayesian optimization (maximization form)."""
+"""Acquisition functions for Bayesian optimization (maximization form).
+
+All acquisitions are vectorized over the candidate axis: they take
+``(n,)`` posterior mean/std arrays and return ``(n,)`` scores with no
+per-candidate Python iteration — the contract the batched
+``BayesianOptimizer.ask`` fast path relies on.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 from scipy.stats import norm
 
+#: Posterior-std floor for improvement-based acquisitions.  The GP
+#: reports std == 0 exactly at observed points (and can numerically
+#: round to 0 nearby); dividing by it would yield NaN/inf scores that
+#: poison the acquisition argmax.  Flooring makes such points score
+#: ~0 improvement instead, which is the correct limit.
+STD_FLOOR = 1e-12
+
 
 def expected_improvement(mean: np.ndarray, std: np.ndarray, best: float,
                          xi: float = 0.01) -> np.ndarray:
     """EI over the incumbent ``best`` with exploration jitter ``xi``."""
-    std = np.maximum(std, 1e-12)
+    std = np.maximum(std, STD_FLOOR)
     z = (mean - best - xi) / std
     return (mean - best - xi) * norm.cdf(z) + std * norm.pdf(z)
 
@@ -23,7 +36,7 @@ def upper_confidence_bound(mean: np.ndarray, std: np.ndarray,
 def probability_of_improvement(mean: np.ndarray, std: np.ndarray,
                                best: float, xi: float = 0.01) -> np.ndarray:
     """P(f(x) > best + xi)."""
-    std = np.maximum(std, 1e-12)
+    std = np.maximum(std, STD_FLOOR)
     return norm.cdf((mean - best - xi) / std)
 
 

@@ -12,6 +12,15 @@ tells and donated ``absorb``-ed points alike) reach the GP through
 update — instead of an O(n³) refit per ask.  Hyperparameter grid refits
 (every ``refit_every`` asks) and a periodic ``full_refit_every`` knob
 rebuild the factorization from scratch for numerical hygiene.
+
+The ask path is fully batched: candidate pools come from
+:meth:`ParameterSpace.sample_batch` as a raw ``(n, d)`` matrix, incumbent
+jitter is one vectorized normal draw, and encoding goes through
+:meth:`ParameterSpace.encode_raw_batch` — zero per-candidate Python
+iteration between candidate generation and the acquisition argmax.  The
+pre-vectorization scalar path is frozen verbatim in
+:mod:`repro.perf.legacy_ask`; the ``bo_ask`` perf workload gates the
+speedup and witnesses distributional equivalence of the two samplers.
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ from typing import Any, Mapping, Optional
 
 import numpy as np
 
-from repro.labsci.landscapes import ParameterSpace
+from repro.labsci.landscapes import ContinuousDim, ParameterSpace
 from repro.methods.acquisition import score_candidates
 from repro.methods.baselines import AskTellOptimizer
 from repro.methods.gp import GaussianProcess
@@ -69,6 +78,12 @@ class BayesianOptimizer(AskTellOptimizer):
         self._since_full_refit = 0
         #: Extra observations donated by other sites (transfer learning).
         self._external: list[tuple[dict[str, Any], float]] = []
+        # Continuous-dim geometry for the batched incumbent jitter.
+        self._cont_cols = np.asarray(
+            [j for j, d in enumerate(space.dims)
+             if isinstance(d, ContinuousDim)], dtype=np.intp)
+        self._cont_lows = np.asarray([d.low for d in space.continuous])
+        self._cont_highs = np.asarray([d.high for d in space.continuous])
         # Observations in arrival order (tells and absorbs interleaved):
         # the GP is conditioned on this sequence, with _n_synced marking
         # how many of them it has already seen.
@@ -92,7 +107,7 @@ class BayesianOptimizer(AskTellOptimizer):
     # -- surrogate maintenance ---------------------------------------------------------
 
     def _encode_arrivals(self) -> tuple[np.ndarray, np.ndarray]:
-        X = np.array([self.space.encode(p) for p, _ in self._arrivals])
+        X = self.space.encode_batch([p for p, _ in self._arrivals])
         y = np.array([v for _, v in self._arrivals])
         return X, y
 
@@ -120,12 +135,17 @@ class BayesianOptimizer(AskTellOptimizer):
             self._n_synced = len(self._arrivals)
             self._since_full_refit = 0
             return
-        for params, value in pending:
-            self.gp.observe(self.space.encode(params), value)
+        X_new = self.space.encode_batch([p for p, _ in pending])
+        for row, (_, value) in zip(X_new, pending):
+            self.gp.observe(row, value)
         self._n_synced = len(self._arrivals)
         self._since_full_refit += len(pending)
 
     # -- ask/tell ----------------------------------------------------------------------
+
+    #: Incumbent-jitter schedule: 8 copies at each relative scale.
+    _JITTER_SCALES = (0.02, 0.05, 0.1)
+    _JITTER_COPIES = 8
 
     def ask(self) -> dict[str, Any]:
         observations = self._all_observations()
@@ -133,26 +153,28 @@ class BayesianOptimizer(AskTellOptimizer):
             return self.space.sample(self.rng)
         self._sync_surrogate()
         y_best = max(v for _, v in observations)
-        candidates = [self.space.sample(self.rng)
-                      for _ in range(self.n_candidates)]
+        raw = self.space.sample_batch(self.rng, self.n_candidates)
         # Local exploitation: jitter the incumbent into the pool.
         if self.best is not None:
             _, inc = self.best
-            for scale in (0.02, 0.05, 0.1):
-                candidates.extend(self._perturb(inc, scale)
-                                  for _ in range(8))
-        Xc = np.array([self.space.encode(p) for p in candidates])
+            raw = np.concatenate([raw, self._perturb_batch(inc)], axis=0)
+        Xc = self.space.encode_raw_batch(raw)
         scores = score_candidates(self.acquisition, self.gp, Xc,
                                   best=float(y_best), rng=self.rng)
-        return candidates[int(np.argmax(scores))]
+        return self.space.decode_batch(raw[int(np.argmax(scores))])[0]
 
-    def _perturb(self, params: Mapping[str, Any],
-                 scale: float) -> dict[str, Any]:
-        out = dict(params)
-        for d in self.space.continuous:
-            span = (d.high - d.low) * scale
-            out[d.name] = d.clip(float(out[d.name])
-                                 + float(self.rng.normal(0.0, span)))
+    def _perturb_batch(self, params: Mapping[str, Any]) -> np.ndarray:
+        """All jittered incumbent copies as raw rows, from one normal draw."""
+        scales = np.repeat(np.asarray(self._JITTER_SCALES),
+                           self._JITTER_COPIES)
+        out = np.tile(self.space.raw_point(params), (scales.size, 1))
+        if self._cont_cols.size:
+            spans = self._cont_highs - self._cont_lows
+            step = self.rng.standard_normal((scales.size,
+                                             self._cont_cols.size))
+            out[:, self._cont_cols] = np.clip(
+                out[:, self._cont_cols] + step * (spans * scales[:, None]),
+                self._cont_lows, self._cont_highs)
         return out
 
     # -- introspection ---------------------------------------------------------------------

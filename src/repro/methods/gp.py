@@ -18,6 +18,13 @@ measured by :mod:`repro.perf`:
 - :meth:`GaussianProcess.predict` reads the prior variance from
   :meth:`~repro.methods.kernels._Stationary.diag` instead of building an
   m×m query covariance for its diagonal.
+
+Batch contract (audited for the vectorized ask path): ``predict``,
+``sample_posterior`` and the acquisitions in
+:mod:`repro.methods.acquisition` operate on whole ``(m, d)`` query
+matrices with numpy/scipy calls only — no per-candidate Python loops —
+so ``BayesianOptimizer.ask`` stays vectorized end to end from candidate
+generation to the acquisition argmax.
 """
 
 from __future__ import annotations

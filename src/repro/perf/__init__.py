@@ -5,7 +5,9 @@ kernel-matrix caching, diagonal-only prediction — see
 :mod:`repro.methods.gp`) is only trustworthy if it is *measured*:
 
 - :mod:`repro.perf.legacy` freezes the pre-optimization surrogate stack
-  so the comparison baseline ships with the repo;
+  so the comparison baseline ships with the repo (likewise
+  :mod:`repro.perf.legacy_ask` for the pre-vectorization scalar BO ask
+  path and the legacy kernel/index snapshots living alongside);
 - :mod:`repro.perf.workloads` defines seeded workloads whose gates are
   same-run fast-vs-legacy speedup ratios (machine-independent);
 - :mod:`repro.perf.harness` times them, emits a versioned report

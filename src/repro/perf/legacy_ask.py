@@ -1,0 +1,151 @@
+"""Frozen pre-vectorization BO ask path — the ``bo_ask`` reference.
+
+This module is a verbatim snapshot of the scalar candidate pipeline as it
+stood *before* the batched ``ParameterSpace`` fast path: one
+``space.sample`` call per candidate (one RNG variate per dimension per
+point), one ``space.encode`` call per candidate, and a per-dimension
+Python loop for each jittered incumbent copy.  The GP / kernel /
+acquisition stack is shared with the live code (it was already batched
+over candidates and is frozen separately in :mod:`repro.perf.legacy`);
+what this module preserves is exactly the per-candidate Python iteration
+the vectorized path eliminated.
+
+It exists so the ``bo_ask`` workload can measure the batched ask against
+the real pre-PR baseline *on the same machine, in the same process, on
+the same seeded campaign* — the only comparison that makes a "≥3×
+faster" claim reproducible.  Do not "fix" or vectorize this module; its
+slowness is the point.
+
+Because the scalar and batched paths consume the RNG in different orders
+(per-point interleaved vs per-dim columns), their decision sequences
+differ by design; the workload separately witnesses that the two
+samplers agree *in distribution* per dimension (KS-style check).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.labsci.landscapes import ContinuousDim, ParameterSpace
+from repro.methods.acquisition import score_candidates
+from repro.methods.baselines import AskTellOptimizer
+from repro.methods.gp import GaussianProcess
+from repro.methods.kernels import Matern52
+
+
+def legacy_sample(space: ParameterSpace,
+                  rng: np.random.Generator) -> dict[str, Any]:
+    """Scalar uniform draw: one RNG call per dimension, per point."""
+    out: dict[str, Any] = {}
+    for d in space.dims:
+        if isinstance(d, ContinuousDim):
+            out[d.name] = float(rng.uniform(d.low, d.high))
+        else:
+            out[d.name] = str(rng.choice(list(d.choices)))
+    return out
+
+
+def legacy_encode(space: ParameterSpace,
+                  params: Mapping[str, Any]) -> np.ndarray:
+    """Scalar encode: per-dim list building, one point at a time."""
+    parts: list[float] = []
+    for d in space.dims:
+        if isinstance(d, ContinuousDim):
+            parts.append(d.normalize(params[d.name]))
+        else:
+            onehot = [0.0] * len(d.choices)
+            onehot[d.choices.index(params[d.name])] = 1.0
+            parts.extend(onehot)
+    return np.asarray(parts, dtype=np.float64)
+
+
+class LegacyAskOptimizer(AskTellOptimizer):
+    """Pre-vectorization ``BayesianOptimizer`` (scalar candidate loop).
+
+    Mirrors the live optimizer's surrogate maintenance (incremental
+    rank-1 sync, periodic grid refits) so the *only* difference timed by
+    the ``bo_ask`` workload is the candidate pipeline: scalar
+    sample/encode/perturb here, batched raw-matrix ops in
+    :class:`repro.methods.bayesopt.BayesianOptimizer`.
+    """
+
+    def __init__(self, space: ParameterSpace, rng: np.random.Generator, *,
+                 acquisition: str = "ei", n_init: int = 8,
+                 n_candidates: int = 512, noise: float = 0.02,
+                 refit_every: int = 10,
+                 full_refit_every: int = 50) -> None:
+        super().__init__(space)
+        self.rng = rng
+        self.acquisition = acquisition
+        self.n_init = n_init
+        self.n_candidates = n_candidates
+        self.refit_every = refit_every
+        self.full_refit_every = full_refit_every
+        self.gp = GaussianProcess(kernel=Matern52(lengthscale=0.3),
+                                  noise=noise)
+        self._since_refit = 0
+        self._since_full_refit = 0
+        self._arrivals: list[tuple[dict[str, Any], float]] = []
+        self._n_synced = 0
+
+    def tell(self, params: Mapping[str, Any], objective: float) -> None:
+        super().tell(params, objective)
+        self._arrivals.append((dict(params), float(objective)))
+
+    def _encode_arrivals(self) -> tuple[np.ndarray, np.ndarray]:
+        X = np.array([legacy_encode(self.space, p)
+                      for p, _ in self._arrivals])
+        y = np.array([v for _, v in self._arrivals])
+        return X, y
+
+    def _sync_surrogate(self) -> None:
+        self._since_refit += 1
+        if (self._since_refit >= self.refit_every
+                or self.gp.n_observations == 0):
+            X, y = self._encode_arrivals()
+            self.gp.fit_hyperparameters(X, y)
+            self._n_synced = len(self._arrivals)
+            self._since_refit = 0
+            self._since_full_refit = 0
+            return
+        pending = self._arrivals[self._n_synced:]
+        if (self._since_full_refit + len(pending) >= self.full_refit_every
+                and pending):
+            X, y = self._encode_arrivals()
+            self.gp.fit(X, y)
+            self._n_synced = len(self._arrivals)
+            self._since_full_refit = 0
+            return
+        for params, value in pending:
+            self.gp.observe(legacy_encode(self.space, params), value)
+        self._n_synced = len(self._arrivals)
+        self._since_full_refit += len(pending)
+
+    def ask(self) -> dict[str, Any]:
+        observations = self.history
+        if len(observations) < self.n_init:
+            return legacy_sample(self.space, self.rng)
+        self._sync_surrogate()
+        y_best = max(v for _, v in observations)
+        candidates = [legacy_sample(self.space, self.rng)
+                      for _ in range(self.n_candidates)]
+        if self.best is not None:
+            _, inc = self.best
+            for scale in (0.02, 0.05, 0.1):
+                candidates.extend(self._perturb(inc, scale)
+                                  for _ in range(8))
+        Xc = np.array([legacy_encode(self.space, p) for p in candidates])
+        scores = score_candidates(self.acquisition, self.gp, Xc,
+                                  best=float(y_best), rng=self.rng)
+        return candidates[int(np.argmax(scores))]
+
+    def _perturb(self, params: Mapping[str, Any],
+                 scale: float) -> dict[str, Any]:
+        out = dict(params)
+        for d in self.space.continuous:
+            span = (d.high - d.low) * scale
+            out[d.name] = d.clip(float(out[d.name])
+                                 + float(self.rng.normal(0.0, span)))
+        return out

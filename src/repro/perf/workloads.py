@@ -34,13 +34,16 @@ import numpy as np
 
 from repro.comm import Message, MessageBus, Performative
 from repro.comm.bus import RouteIndex
+from repro.labsci.landscapes import ContinuousDim
 from repro.labsci.quantum_dots import QuantumDotLandscape, quantum_dot_space
+from repro.methods.bayesopt import BayesianOptimizer
 from repro.methods.gp import GaussianProcess
 from repro.methods.kernels import Matern52
 from repro.net.topology import Link, Site, Topology
 from repro.net.transport import Network
 from repro.perf.legacy import (LegacyGaussianProcess, LegacyMatern52,
                                LegacySimulator, legacy_route_scan)
+from repro.perf.legacy_ask import LegacyAskOptimizer, legacy_sample
 from repro.scale import WorldRunner, WorldSpec, combine_hashes, decision_hash
 from repro.scale.worlds import bo_world
 from repro.sim.kernel import Simulator
@@ -131,6 +134,124 @@ def surrogate_e12(clock: Clock, *, quick: bool = False,
             "asks_per_second": iters / fast_s,
         },
         "gates": {"speedup": legacy_s / fast_s},
+    }
+
+
+#: ``bo_ask`` campaign shape (canonical — gate ratios shift with size).
+_BO_ASK_BUDGET = 64
+_BO_ASK_N_INIT = 8
+_BO_ASK_POOL = 512
+#: Distribution-witness limits: max KS statistic per continuous dim and
+#: max absolute choice-frequency gap per discrete dim, between the
+#: scalar and batched samplers at 2048 draws each.  The two-sample KS
+#: critical value at alpha=0.001 for n=m=2048 is ~0.061; the seeded
+#: draws land well inside it.
+_BO_ASK_WITNESS_N = 2048
+_BO_ASK_KS_LIMIT = 0.065
+_BO_ASK_FREQ_LIMIT = 0.05
+
+
+def _ks_statistic(a: np.ndarray, b: np.ndarray) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (no p-value machinery)."""
+    a = np.sort(a)
+    b = np.sort(b)
+    grid = np.concatenate([a, b])
+    grid.sort(kind="mergesort")
+    cdf_a = np.searchsorted(a, grid, side="right") / a.size
+    cdf_b = np.searchsorted(b, grid, side="right") / b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+def bo_ask(clock: Clock, *, quick: bool = False, seed: int = 0) -> dict:
+    """Batched ``BayesianOptimizer.ask`` vs the frozen scalar ask path.
+
+    Runs the same E12-shaped campaign (quantum-dot space, budget 64,
+    512-candidate pools) through the live batched optimizer and through
+    :class:`~repro.perf.legacy_ask.LegacyAskOptimizer` — the verbatim
+    pre-vectorization pipeline with per-candidate ``sample``/``encode``
+    loops.  Only the ``ask()`` calls are timed (tell/landscape work is
+    identical and excluded); the ``ask_speedup`` gate is the same-run
+    ratio, machine-portable like every other gate here.
+
+    Two honesty checks ride along, both untimed:
+
+    - **determinism replay** — the fast arm runs twice from the same
+      seed and its full (params, value) decision sequence must hash
+      identically, or the workload raises;
+    - **distribution witness** — the scalar and batched samplers draw
+      2048 points each from their own seeded streams and must agree per
+      dimension (two-sample KS statistic for continuous dims, max
+      absolute choice-frequency gap for discrete dims).  The two paths
+      consume RNG variates in different orders by design, so decision
+      *sequences* differ; this check pins down that the *distributions*
+      do not.
+    """
+    del quick  # canonical size always: gates must match the baseline's
+    landscape = QuantumDotLandscape(seed=2)
+    space = landscape.space
+
+    def run_arm(opt_cls, arm_seed: int) -> tuple[float, str]:
+        opt = opt_cls(space, np.random.default_rng(arm_seed),
+                      n_init=_BO_ASK_N_INIT, n_candidates=_BO_ASK_POOL)
+        ask_s = 0.0
+        decisions = []
+        for _ in range(_BO_ASK_BUDGET):
+            t0 = clock()
+            params = opt.ask()
+            ask_s += clock() - t0
+            value = landscape.objective_value(params)
+            opt.tell(params, value)
+            decisions.append((params, value))
+        return ask_s, decision_hash(decisions)
+
+    legacy_s, _ = run_arm(LegacyAskOptimizer, seed)
+    fast_s, fast_digest = run_arm(BayesianOptimizer, seed)
+    _, replay_digest = run_arm(BayesianOptimizer, seed)
+    if fast_digest != replay_digest:  # pragma: no cover - determinism gate
+        raise RuntimeError(
+            "batched ask replay diverged from itself: "
+            f"{replay_digest[:12]} != {fast_digest[:12]}")
+
+    scalar_rng = np.random.default_rng(seed + 101)
+    batch_rng = np.random.default_rng(seed + 202)
+    scalar_pts = [legacy_sample(space, scalar_rng)
+                  for _ in range(_BO_ASK_WITNESS_N)]
+    batch_pts = space.decode_batch(
+        space.sample_batch(batch_rng, _BO_ASK_WITNESS_N))
+    gap_max = 0.0
+    for d in space.dims:
+        if isinstance(d, ContinuousDim):
+            gap = _ks_statistic(
+                np.asarray([p[d.name] for p in scalar_pts]),
+                np.asarray([p[d.name] for p in batch_pts]))
+            limit = _BO_ASK_KS_LIMIT
+        else:
+            gap = max(
+                abs(sum(p[d.name] == c for p in scalar_pts)
+                    - sum(p[d.name] == c for p in batch_pts))
+                / _BO_ASK_WITNESS_N
+                for c in d.choices)
+            limit = _BO_ASK_FREQ_LIMIT
+        if gap > limit:  # pragma: no cover - distribution gate
+            raise RuntimeError(
+                f"batched sampler diverged from the scalar sampler on "
+                f"dim {d.name!r}: gap {gap:.4f} > {limit}")
+        gap_max = max(gap_max, gap)
+
+    asks = _BO_ASK_BUDGET
+    return {
+        "metrics": {
+            "asks": asks,
+            "pool_size": _BO_ASK_POOL,
+            "legacy_seconds": legacy_s,
+            "fast_seconds": fast_s,
+            "legacy_ms_per_ask": legacy_s / asks * 1e3,
+            "fast_ms_per_ask": fast_s / asks * 1e3,
+            "asks_per_second": asks / fast_s,
+            "sampler_gap_max": gap_max,
+            "hash_equal": 1.0,
+        },
+        "gates": {"ask_speedup": legacy_s / fast_s},
     }
 
 
@@ -740,6 +861,7 @@ def mesh_governance(clock: Clock, *, quick: bool = False,
 #: mutated at runtime (detlint D001 contract).
 WORKLOADS: dict[str, Callable[..., dict]] = {
     "surrogate_e12": surrogate_e12,
+    "bo_ask": bo_ask,
     "gp_scaling": gp_scaling,
     "sim_events": sim_events,
     "bus_throughput": bus_throughput,

@@ -43,13 +43,17 @@ def bo_world(seed: int, config: dict) -> dict:
     space = landscape.space
     opt = BayesianOptimizer(space, np.random.default_rng(seed),
                             n_init=n_init, n_candidates=n_candidates)
-    decisions = np.empty((budget, space.encoded_size + 1))
+    chosen: list[dict] = []
+    values = np.empty(budget)
     for i in range(budget):
         params = opt.ask()
         value = landscape.objective_value(params)
         opt.tell(params, value)
-        decisions[i, :-1] = space.encode(params)
-        decisions[i, -1] = value
+        chosen.append(params)
+        values[i] = value
+    decisions = np.empty((budget, space.encoded_size + 1))
+    decisions[:, :-1] = space.encode_batch(chosen)
+    decisions[:, -1] = values
     best_value, _ = opt.best
     return {"seed": int(seed), "budget": budget,
             "best": float(best_value), "decisions": decisions}

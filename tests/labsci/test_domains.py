@@ -180,3 +180,44 @@ def test_sample_provenance_records(qd):
     s.record(1.0, "robot-1", "synthesize")
     s.record(2.0, "spec-1", "measure")
     assert [op for _, _, op in s.provenance] == ["synthesize", "measure"]
+
+
+# -- vectorized evaluate_batch ------------------------------------------------
+
+@pytest.mark.parametrize("make", [
+    lambda: QuantumDotLandscape(seed=3),
+    lambda: PerovskiteLandscape(seed=3),
+    lambda: PerovskiteLandscape(seed=3, site="lab-b", calibration_scale=1.0),
+    lambda: PolymerFilmLandscape(seed=3),
+    lambda: MetallicGlassLandscape(seed=3),
+])
+def test_evaluate_batch_matches_scalar(make):
+    land = make()
+    rng = np.random.default_rng(17)
+    points = [land.space.sample(rng) for _ in range(120)]
+    batch = land.evaluate_batch(points)
+    assert set(batch) == set(land.properties)
+    for i, p in enumerate(points):
+        scalar = land.evaluate(p)
+        for name in land.properties:
+            assert batch[name][i] == scalar[name], (name, i)
+
+
+def test_metallic_glass_batch_infeasible_rows():
+    land = MetallicGlassLandscape(seed=1)
+    infeasible = {"frac_zr": 0.8, "frac_cu": 0.8, "cooling_rate": 5.0}
+    out = land.evaluate_batch([infeasible])
+    assert out["gfa"][0] == 0.0
+    assert out["is_glass"][0] == 0.0
+
+
+def test_sample_synthesize_batch_matches_scalar():
+    land = QuantumDotLandscape(seed=4)
+    rng = np.random.default_rng(5)
+    points = [land.space.sample(rng) for _ in range(10)]
+    batch = Sample.synthesize_batch(points, land, site="lab-a")
+    for p, s in zip(points, batch):
+        ref = Sample.synthesize(p, land, site="lab-a")
+        assert s.params == dict(p)
+        assert s.site == "lab-a"
+        assert s.true_properties() == ref.true_properties()

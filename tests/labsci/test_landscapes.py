@@ -167,3 +167,108 @@ def test_property_landscape_total_function(temp, time, chem):
     r = land.evaluate({"chem": chem, "temp": temp, "time": time})["response"]
     assert np.isfinite(r)
     assert r >= 0.0
+
+
+# -- batched fast path ----------------------------------------------------------
+
+
+def test_dim_lookup_and_keyerror(space):
+    assert space.dim("temp").name == "temp"
+    assert space.dim("chem").choices == ("a", "b", "c")
+    with pytest.raises(KeyError):
+        space.dim("nope")
+
+
+def test_discrete_index_lookup():
+    d = DiscreteDim("chem", ("a", "b", "c"))
+    assert [d.index(c) for c in d.choices] == [0, 1, 2]
+    with pytest.raises(ValueError):
+        d.index("zzz")
+
+
+def test_sample_batch_shape_and_validity(space):
+    rng = np.random.default_rng(3)
+    raw = space.sample_batch(rng, 50)
+    assert raw.shape == (50, len(space))
+    for p in space.decode_batch(raw):
+        space.validate(p)
+
+
+def test_encode_batch_bit_identical_to_rowwise(space):
+    rng = np.random.default_rng(4)
+    points = [space.sample(rng) for _ in range(64)]
+    batch = space.encode_batch(points)
+    rowwise = np.array([space.encode(p) for p in points])
+    assert batch.dtype == np.float64
+    assert np.array_equal(batch, rowwise)
+
+
+def test_encode_raw_batch_matches_encode(space):
+    rng = np.random.default_rng(5)
+    raw = space.sample_batch(rng, 40)
+    from_raw = space.encode_raw_batch(raw)
+    from_dicts = np.array([space.encode(p) for p in space.decode_batch(raw)])
+    assert np.array_equal(from_raw, from_dicts)
+
+
+def test_raw_point_decode_roundtrip(space):
+    rng = np.random.default_rng(6)
+    for _ in range(20):
+        p = space.sample(rng)
+        assert space.decode_batch(space.raw_point(p))[0] == p
+
+
+def test_continuous_matrix_matches_vector(space):
+    rng = np.random.default_rng(7)
+    points = [space.sample(rng) for _ in range(30)]
+    mat = space.continuous_matrix(points)
+    for i, p in enumerate(points):
+        assert np.array_equal(mat[i], space.continuous_vector(p))
+
+
+def test_sample_batch_marginals_match_scalar(space):
+    """Per-dim marginals of the batched and scalar samplers agree (KS)."""
+    n = 3000
+    rng_a = np.random.default_rng(8)
+    rng_b = np.random.default_rng(9)
+    scalar = [space.sample(rng_a) for _ in range(n)]
+    batch = space.decode_batch(space.sample_batch(rng_b, n))
+    for d in space.dims:
+        if isinstance(d, ContinuousDim):
+            a = np.sort([p[d.name] for p in scalar])
+            b = np.sort([p[d.name] for p in batch])
+            grid = np.sort(np.concatenate([a, b]))
+            ks = np.max(np.abs(
+                np.searchsorted(a, grid, side="right") / n
+                - np.searchsorted(b, grid, side="right") / n))
+            assert ks < 0.05, (d.name, ks)
+        else:
+            for c in d.choices:
+                fa = sum(p[d.name] == c for p in scalar) / n
+                fb = sum(p[d.name] == c for p in batch) / n
+                assert abs(fa - fb) < 0.04, (d.name, c, fa, fb)
+
+
+def test_synthetic_evaluate_batch_matches_scalar(space):
+    land = SyntheticLandscape(space, seed=13)
+    rng = np.random.default_rng(10)
+    points = [space.sample(rng) for _ in range(100)]
+    batch = land.evaluate_batch(points)
+    assert set(batch) == {"response"}
+    for i, p in enumerate(points):
+        assert batch["response"][i] == land.evaluate(p)["response"]
+
+
+def test_evaluate_batch_validates(space):
+    land = SyntheticLandscape(space, seed=13)
+    with pytest.raises(ValueError):
+        land.evaluate_batch([{"chem": "a", "temp": 5000.0, "time": 5.0}])
+
+
+def test_objective_batch_matches_objective_value(space):
+    land = SyntheticLandscape(space, seed=14)
+    rng = np.random.default_rng(11)
+    points = [space.sample(rng) for _ in range(25)]
+    vals = land.objective_batch(points)
+    for i, p in enumerate(points):
+        assert vals[i] == land.objective_value(p)

@@ -230,3 +230,72 @@ def test_nested_on_quantum_dot_scale(qd_landscape):
         nbo.tell(p, v)
         traj.append(nbo.best[0])
     assert traj[-1] >= traj[5]
+
+
+# -- std == 0 regression (posterior collapses at observed points) ---------------
+
+def test_ei_finite_at_exact_zero_std():
+    ei = expected_improvement(np.array([0.1, 0.5, 0.9]),
+                              np.array([0.0, 0.0, 0.0]), best=0.5)
+    assert np.all(np.isfinite(ei))
+    # At/below the incumbent with zero uncertainty: no improvement.
+    assert ei[0] == pytest.approx(0.0, abs=1e-9)
+    assert ei[1] == pytest.approx(0.0, abs=1e-9)
+    # Certainly better: EI collapses to the mean gap.
+    assert ei[2] == pytest.approx(0.9 - 0.5 - 0.01, abs=1e-6)
+
+
+def test_pi_finite_at_exact_zero_std():
+    pi = probability_of_improvement(np.array([0.1, 0.9]),
+                                    np.array([0.0, 0.0]), best=0.5)
+    assert np.all(np.isfinite(pi))
+    assert pi[0] == pytest.approx(0.0, abs=1e-9)
+    assert pi[1] == pytest.approx(1.0, abs=1e-9)
+
+
+def test_score_candidates_finite_on_observed_points():
+    """Scoring the training points themselves must not produce NaN/inf."""
+    X = np.array([[0.1, 0.2], [0.8, 0.9], [0.4, 0.5]])
+    y = np.array([0.3, 0.7, 0.5])
+    gp = GaussianProcess(kernel=RBF(lengthscale=0.3), noise=1e-6).fit(X, y)
+    rng = np.random.default_rng(0)
+    for name in ("ei", "ucb", "pi"):
+        scores = score_candidates(name, gp, X, best=0.7, rng=rng)
+        assert np.all(np.isfinite(scores)), name
+
+
+# -- batched ask determinism ----------------------------------------------------
+
+def _run_campaign(seed):
+    from repro.scale import decision_hash
+    land = SyntheticLandscape(
+        ParameterSpace([DiscreteDim("chem", ("a", "b", "c")),
+                        ContinuousDim("x", 0.0, 1.0),
+                        ContinuousDim("y", 0.0, 1.0)]), seed=5)
+    opt = BayesianOptimizer(land.space, np.random.default_rng(seed),
+                            n_init=4, n_candidates=64)
+    decisions = []
+    for _ in range(16):
+        p = opt.ask()
+        v = land.objective_value(p)
+        opt.tell(p, v)
+        decisions.append((p, v))
+    return decision_hash(decisions)
+
+
+def test_ask_decision_hash_stable_across_same_seed_worlds():
+    """Two same-seed campaigns in one process make identical decisions."""
+    assert _run_campaign(42) == _run_campaign(42)
+    assert _run_campaign(42) != _run_campaign(43)
+
+
+def test_perturb_batch_stays_in_bounds(mixed_space):
+    opt = BayesianOptimizer(mixed_space, np.random.default_rng(1),
+                            n_candidates=32)
+    incumbent = {"chem": "b", "x": 0.01, "y": 0.99}
+    raw = opt._perturb_batch(incumbent)
+    n_copies = len(opt._JITTER_SCALES) * opt._JITTER_COPIES
+    assert raw.shape == (n_copies, len(mixed_space))
+    for p in mixed_space.decode_batch(raw):
+        mixed_space.validate(p)
+        assert p["chem"] == "b"  # discrete coordinates never jittered

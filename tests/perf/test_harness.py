@@ -47,10 +47,10 @@ def test_skipped_gates_propagate_to_report(monkeypatch):
 
 
 def test_all_workloads_registered():
-    assert set(WORKLOADS) == {"surrogate_e12", "gp_scaling", "sim_events",
-                              "bus_throughput", "bus_routing_indexed",
-                              "parallel_worlds", "service_multitenant",
-                              "mesh_governance"}
+    assert set(WORKLOADS) == {"surrogate_e12", "bo_ask", "gp_scaling",
+                              "sim_events", "bus_throughput",
+                              "bus_routing_indexed", "parallel_worlds",
+                              "service_multitenant", "mesh_governance"}
 
 
 def test_unknown_workload_rejected():
